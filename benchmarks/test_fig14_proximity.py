@@ -1,0 +1,47 @@
+"""Figure 14: sensitivity of AF to the proximity-matrix parameters.
+
+The paper retrains AF on CD while sweeping the threshold α and the
+kernel bandwidth σ of the proximity matrix and finds the framework
+insensitive to both.  We sweep each parameter over a 4x range around
+the city default and check that the spread of resulting EMD values is
+small relative to their mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import prepare, proximity_sweep
+
+from conftest import MAX_TEST_WINDOWS, SMOKE, run_once
+
+# Generous insensitivity band: quick budgets add training noise on top
+# of the parameter effect the paper reports as negligible.
+MAX_RELATIVE_SPREAD = 0.5 if SMOKE else 0.25
+
+
+@pytest.mark.parametrize("parameter", ["alpha", "sigma"])
+def test_fig14_proximity_sensitivity(benchmark, parameter, cd_dataset,
+                                     sweep_budget):
+    data = prepare(cd_dataset, s=6, h=1)
+    default = data.city.default_proximity_config()
+    center = getattr(default, parameter)
+    values = [0.5 * center, center, 2.0 * center]
+
+    result = run_once(
+        benchmark,
+        lambda: proximity_sweep(data, parameter, values,
+                                budget=sweep_budget,
+                                max_test_windows=MAX_TEST_WINDOWS))
+
+    print(f"\nFig 14 — AF on CD, sweeping {parameter}:")
+    for value, emd_value in zip(result.values, result.metrics["emd"]):
+        print(f"  {parameter}={value:6.2f} km  ->  EMD {emd_value:.4f}")
+
+    emds = np.asarray(result.metrics["emd"])
+    assert np.isfinite(emds).all()
+    spread = (emds.max() - emds.min()) / emds.mean()
+    print(f"  relative spread: {spread:.2%}")
+    assert spread < MAX_RELATIVE_SPREAD, (
+        f"AF unexpectedly sensitive to {parameter}: spread {spread:.2%}")

@@ -1,0 +1,47 @@
+"""Figure 7: sparseness of original and preprocessed data.
+
+The paper's Figure 7 contrasts cell coverage of the raw per-interval OD
+tensors ("original") with the preprocessed variant.  We regenerate the
+statistics at several preprocessing thresholds (minimum trips per cell)
+for both cities and check the qualitative facts: per-interval tensors
+are overwhelmingly sparse even though cumulative pair coverage is high,
+and stricter preprocessing monotonically lowers coverage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import prepare, sparseness_report
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize("city_name", ["nyc", "cd"])
+def test_fig7_sparseness(benchmark, city_name, nyc_dataset, cd_dataset):
+    dataset = nyc_dataset if city_name == "nyc" else cd_dataset
+
+    def analyze():
+        data = prepare(dataset, s=3, h=1)
+        return sparseness_report(data.sequence, min_trips_levels=(1, 3, 5))
+
+    report = run_once(benchmark, analyze)
+
+    print(f"\nFigure 7 — {city_name.upper()} sparseness:")
+    print(f"  OD pairs covered at least once: "
+          f"{report['overall_pair_coverage']:.1%}")
+    for level, stats in report["by_min_trips"].items():
+        print(f"  min_trips={level}: mean per-interval cell coverage "
+              f"{stats['mean_cell_coverage']:.2%}, "
+              f"p90 {stats['p90_cell_coverage']:.2%}")
+
+    levels = report["by_min_trips"]
+    # Per-interval tensors are sparse (the paper's central challenge).
+    assert levels[1]["mean_cell_coverage"] < 0.5
+    # Cumulative coverage is far higher than per-interval coverage.
+    assert report["overall_pair_coverage"] \
+        > 3 * levels[1]["mean_cell_coverage"]
+    # Preprocessing monotonically trades coverage for reliability.
+    assert levels[1]["mean_cell_coverage"] \
+        >= levels[3]["mean_cell_coverage"] \
+        >= levels[5]["mean_cell_coverage"]

@@ -1,0 +1,71 @@
+"""Figures 8-10: forecast accuracy by time of day (EMD, KL, JS).
+
+The paper aggregates h=1, s=6 test accuracy of FC, BF, AF into 3-hour
+blocks and plots it against the share of data per block.  Shape checks:
+
+* AF is the best of the three methods on the day-time blocks where the
+  bulk of the data lives;
+* accuracy correlates with data volume — blocks with more data are
+  forecast at least as well as the starved night blocks (the paper's
+  [03:00, 06:00) NYC spike);
+* for CD the 00:00-06:00 blocks carry (almost) no data at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import time_of_day_analysis
+
+from conftest import SMOKE, run_once
+
+DEEP = ("fc", "bf", "af")
+
+
+@pytest.mark.parametrize("metric", ["emd", "kl", "js"])
+@pytest.mark.parametrize("city_name", ["nyc", "cd"])
+def test_fig8_10_time_of_day(benchmark, metric, city_name, nyc_s6, cd_s6):
+    data, comparison = nyc_s6 if city_name == "nyc" else cd_s6
+
+    out = run_once(benchmark,
+                   lambda: time_of_day_analysis(data, comparison,
+                                                metric=metric))
+
+    print(f"\nFig 8-10 — {city_name.upper()}, {metric.upper()} per "
+          "3-hour block (block 0 = 00:00-03:00):")
+    shares = out["af"]["share"]
+    header = "  block:  " + " ".join(f"{b:>7d}" for b in range(8))
+    print(header)
+    print("  share:  " + " ".join(f"{s:>7.2%}" for s in shares))
+    for name in DEEP:
+        if name not in out:
+            continue
+        row = " ".join("    n/a" if np.isnan(v) else f"{v:7.3f}"
+                       for v in out[name]["value"])
+        print(f"  {name:4s}:   {row}")
+
+    assert out["af"]["share"].sum() == pytest.approx(1.0)
+
+    # AF best on the data-rich blocks.
+    busy = np.argsort(shares)[-3:]
+    for block in busy:
+        af = out["af"]["value"][block]
+        fc = out["fc"]["value"][block]
+        if np.isnan(af) or np.isnan(fc):
+            continue
+        assert af <= fc * 1.1, (
+            f"AF worse than FC on busy block {block}: {af} vs {fc}")
+
+
+def test_fig8_cd_night_gap(benchmark, cd_s6):
+    """CD has no data between 00:00 and 06:00 (its figures start at 6)."""
+    data, comparison = cd_s6
+
+    out = run_once(benchmark,
+                   lambda: time_of_day_analysis(data, comparison,
+                                                metric="emd"))
+    night_share = out["af"]["share"][:2].sum()
+    print(f"\nCD data share in [00:00, 06:00): {night_share:.3%}")
+    if not SMOKE:
+        assert night_share < 0.01

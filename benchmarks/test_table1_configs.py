@@ -1,0 +1,81 @@
+"""Table I: model configurations and weight counts.
+
+The paper's Table I lists the layer configurations and total weight
+counts of the three deep models on both datasets, the headline being
+that AF — architecturally the most complex — carries the *fewest*
+weights, because graph-convolution filters are shared across regions
+while FC/BF project through N*N'*K-sized dense layers.
+
+This benchmark rebuilds all three models at the paper's hyper-parameter
+sizes for NYC (67 regions) and CD (79 regions), prints the weight
+table, and checks the ordering #AF < #BF < #FC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import FCBaseline
+from repro.core.config import PaperHyperParameters, paper_af, paper_bf
+from repro.regions import chengdu_like, manhattan_like, toy_city
+
+from conftest import SMOKE, run_once
+
+
+def _cities():
+    if SMOKE:
+        return {"nyc": toy_city(seed=1, n_regions=12),
+                "cd": toy_city(seed=2, n_regions=14)}
+    return {"nyc": manhattan_like(), "cd": chengdu_like()}
+
+
+def _build_all(city):
+    hp = PaperHyperParameters()
+    rng = np.random.default_rng(0)
+    n = city.n_regions
+    fc = FCBaseline(n, n, hp.n_buckets, rng, encoder_dim=hp.encoder_dim,
+                    hidden_dim=hp.gru_units, dropout=hp.dropout)
+    bf = paper_bf(n)
+    weights = city.proximity()
+    af = paper_af(weights, weights)
+    return {"fc": fc, "bf": bf, "af": af}
+
+
+@pytest.mark.parametrize("city_name", ["nyc", "cd"])
+def test_table1_weight_counts(benchmark, city_name):
+    city = _cities()[city_name]
+
+    models = run_once(benchmark, lambda: _build_all(city))
+
+    counts = {name: model.num_parameters()
+              for name, model in models.items()}
+    print(f"\nTable I — {city_name.upper()} ({city.n_regions} regions), "
+          f"#weights per model:")
+    for name in ("fc", "bf", "af"):
+        print(f"  {name.upper():3s}: {counts[name]:>10,}")
+
+    # Paper's observation: AF uses the fewest weights, FC the most.
+    # Graph-conv filter banks do not shrink with the region count, so
+    # the ordering only holds at real city sizes — not in smoke mode.
+    if not SMOKE:
+        assert counts["af"] < counts["bf"] < counts["fc"]
+
+
+@pytest.mark.parametrize("city_name", ["nyc", "cd"])
+def test_table1_forward_pass(benchmark, city_name):
+    """All three Table I models run a forward pass at full size."""
+    city = _cities()[city_name]
+    models = _build_all(city)
+    n, k = city.n_regions, PaperHyperParameters().n_buckets
+    rng = np.random.default_rng(1)
+    history = rng.uniform(size=(2, 3, n, n, k))
+
+    def forward_all():
+        return {name: model(history, horizon=1)[0].numpy()
+                for name, model in models.items()}
+
+    outputs = run_once(benchmark, forward_all)
+    for name, prediction in outputs.items():
+        assert prediction.shape == (2, 1, n, n, k)
+        assert np.allclose(prediction.sum(-1), 1.0, atol=1e-4), name

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Weather stress test: what breaks a purely periodic forecaster?
+
+The paper's outlook (§VII) proposes adding contextual information such
+as weather.  This example shows *why*: it generates two versions of the
+same city — calm, and with a strong weather process layered onto the
+traffic — and compares a purely periodic method (MR) against the
+history-conditioned BF on both.  Weather episodes are aperiodic, so the
+periodic method's error grows much more than BF's, which can read the
+slowdown from the recent history.
+
+Run:  python examples/weather_stress.py
+"""
+
+import numpy as np
+
+from repro.experiments import MethodBudget, make_bf, make_mr, prepare
+from repro.metrics import evaluate_forecasts
+from repro.regions import toy_city
+from repro.trips import (CityDataset, DemandConfig, LatentTrafficField,
+                         TrafficFieldConfig, TripGenerator)
+
+
+def build_dataset(weather_strength: float):
+    city = toy_city(seed=8, n_regions=12)
+    config = TrafficFieldConfig(weather_strength=weather_strength)
+    field = LatentTrafficField(city, n_days=6, seed=9, config=config)
+    generator = TripGenerator(
+        field, DemandConfig(trips_per_interval=150.0), seed=10)
+    return CityDataset(city=city, field=field,
+                       trips=generator.generate())
+
+
+def score(data, forecaster):
+    test = data.split.test[:30]
+    forecaster.fit(data.windows, data.split, horizon=1)
+    predictions = forecaster.predict(data.windows, test, 1)
+    _, truth, masks = data.windows.gather(test)
+    return evaluate_forecasts(truth, predictions, masks).overall("emd")
+
+
+def main() -> None:
+    budget = MethodBudget(epochs=8, batch_size=16, max_train_batches=12)
+    print(f"{'scenario':12s} {'MR (periodic)':>14s} "
+          f"{'BF (history)':>14s}")
+    results = {}
+    for label, strength in [("calm", 0.0), ("stormy", 0.9)]:
+        data = prepare(build_dataset(strength), s=6, h=1)
+        mr_emd = score(data, make_mr(data))
+        bf_emd = score(data, make_bf(data, budget))
+        results[label] = (mr_emd, bf_emd)
+        print(f"{label:12s} {mr_emd:14.4f} {bf_emd:14.4f}")
+
+    mr_calm, bf_calm = results["calm"]
+    mr_storm, bf_storm = results["stormy"]
+    print(f"\nWeather degrades MR by "
+          f"{100 * (mr_storm / mr_calm - 1):+.1f}% but BF by only "
+          f"{100 * (bf_storm / bf_calm - 1):+.1f}% — aperiodic context "
+          "is precisely what near-history conditioning (and, further, "
+          "the paper's proposed weather inputs) buys.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full benchmark sweep: regenerates every table and figure of the paper
+# and records the output.  Takes ~1 hour on one CPU core.
+#
+#   ./run_benchmarks.sh            # full scale
+#   REPRO_BENCH_SCALE=smoke ./run_benchmarks.sh   # 2-minute plumbing check
+set -uo pipefail
+cd "$(dirname "$0")"
+python3 -m pytest benchmarks/ --benchmark-only -p no:cacheprovider -s -q \
+    2>&1 | tee bench_output.txt

@@ -1,0 +1,305 @@
+"""Differentiable functions operating on :class:`~repro.autodiff.Tensor`.
+
+These complement the operator overloads on ``Tensor`` with the
+nonlinearities, normalizations, and structural operations the paper's
+models need (sigmoid/tanh gates, per-cell softmax recovery, concatenation
+of graph-convolution slices, dropout regularization, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .tensor import Tensor, _ensure_tensor, _unbroadcast
+
+
+def exp(x: Tensor) -> Tensor:
+    """Elementwise exponential."""
+    x = _ensure_tensor(x)
+    out_data = np.exp(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * out_data)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log(x: Tensor) -> Tensor:
+    """Elementwise natural logarithm."""
+    x = _ensure_tensor(x)
+    out_data = np.log(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad / x.data)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def sqrt(x: Tensor) -> Tensor:
+    """Elementwise square root."""
+    x = _ensure_tensor(x)
+    out_data = np.sqrt(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * 0.5 / out_data)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Numerically stable logistic sigmoid."""
+    x = _ensure_tensor(x)
+    out_data = np.empty_like(x.data)
+    positive = x.data >= 0
+    out_data[positive] = 1.0 / (1.0 + np.exp(-x.data[positive]))
+    ex = np.exp(x.data[~positive])
+    out_data[~positive] = ex / (1.0 + ex)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    x = _ensure_tensor(x)
+    out_data = np.tanh(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * (1.0 - out_data ** 2))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Elementwise rectified linear unit."""
+    x = _ensure_tensor(x)
+    mask = x.data > 0
+    out_data = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` with the max-subtraction stabilizer.
+
+    This is the paper's recovery operator (Eq. 3): each OD cell's K raw
+    scores are normalized into a probability histogram.
+    """
+    x = _ensure_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            # d softmax: s * (grad - sum(grad * s))
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(out_data * (grad - dot))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` (gradient splits back)."""
+    tensors = [_ensure_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor_i, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor_i.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                tensor_i._accumulate(grad[tuple(index)])
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack same-shaped tensors along a new axis."""
+    tensors = [_ensure_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slabs = np.moveaxis(grad, axis, 0)
+        for tensor_i, slab in zip(tensors, slabs):
+            if tensor_i.requires_grad:
+                tensor_i._accumulate(slab)
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise maximum (ties route gradient to the first input)."""
+    a, b = _ensure_tensor(a), _ensure_tensor(b)
+    out_data = np.maximum(a.data, b.data)
+    a_wins = a.data >= b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * a_wins, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * (~a_wins), b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def abs_(x: Tensor) -> Tensor:
+    """Elementwise absolute value (sign subgradient at 0)."""
+    x = _ensure_tensor(x)
+    out_data = np.abs(x.data)
+    sign = np.sign(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * sign)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def clip_min(x: Tensor, minimum: float) -> Tensor:
+    """Lower-clip; gradient passes only where ``x > minimum``."""
+    x = _ensure_tensor(x)
+    mask = x.data > minimum
+    out_data = np.where(mask, x.data, minimum)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout: zero activations with probability ``rate``.
+
+    At evaluation time (``training=False``) this is the identity, matching
+    the usual inference-time semantics.
+    """
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    x = _ensure_tensor(x)
+    if not training or rate == 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep) / keep
+    out_data = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Select from ``a`` where ``condition`` else ``b`` (condition is data)."""
+    a, b = _ensure_tensor(a), _ensure_tensor(b)
+    condition = np.asarray(condition, dtype=bool)
+    out_data = np.where(condition, a.data, b.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * condition, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * (~condition), b.shape))
+
+    return Tensor._make(out_data, (a, b), backward)
+
+
+def pad_axis(x: Tensor, axis: int, before: int, after: int,
+             value: float = 0.0) -> Tensor:
+    """Pad ``x`` along a single axis with a constant.
+
+    Used by the graph-pooling stage, which appends "fake" nodes so the
+    coarsened graph size is divisible by the pooling stride.
+    """
+    x = _ensure_tensor(x)
+    widths = [(0, 0)] * x.ndim
+    widths[axis] = (before, after)
+    out_data = np.pad(x.data, widths, constant_values=value)
+    n = x.shape[axis]
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(before, before + n)
+            x._accumulate(grad[tuple(index)])
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def take_axis(x: Tensor, indices: np.ndarray, axis: int) -> Tensor:
+    """Gather slices of ``x`` at ``indices`` along ``axis``.
+
+    Used to permute graph nodes into cluster order before pooling.
+    """
+    x = _ensure_tensor(x)
+    indices = np.asarray(indices, dtype=np.intp)
+    out_data = np.take(x.data, indices, axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            full = np.zeros_like(x.data)
+            index = [slice(None)] * x.ndim
+            index[axis] = indices
+            np.add.at(full, tuple(index), grad)
+            x._accumulate(full)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def mean_pool_axis(x: Tensor, axis: int, stride: int) -> Tensor:
+    """Average-pool ``x`` along ``axis`` with non-overlapping windows."""
+    return _pool_axis(x, axis, stride, how="mean")
+
+
+def max_pool_axis(x: Tensor, axis: int, stride: int) -> Tensor:
+    """Max-pool ``x`` along ``axis`` with non-overlapping windows."""
+    return _pool_axis(x, axis, stride, how="max")
+
+
+def _pool_axis(x: Tensor, axis: int, stride: int, how: str) -> Tensor:
+    x = _ensure_tensor(x)
+    n = x.shape[axis]
+    if n % stride != 0:
+        raise ValueError(
+            f"axis length {n} not divisible by pool stride {stride}; "
+            "pad with fake nodes first")
+    moved = np.moveaxis(x.data, axis, 0)
+    grouped = moved.reshape(n // stride, stride, *moved.shape[1:])
+    if how == "mean":
+        pooled = grouped.mean(axis=1)
+    else:
+        pooled = grouped.max(axis=1)
+    out_data = np.moveaxis(pooled, 0, axis)
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        gmoved = np.moveaxis(grad, axis, 0)
+        if how == "mean":
+            expanded = np.repeat(gmoved, stride, axis=0) / stride
+        else:
+            winners = (grouped == pooled[:, None])
+            counts = winners.sum(axis=1, keepdims=True)
+            expanded = (winners * (gmoved[:, None] / counts)).reshape(
+                n, *gmoved.shape[1:])
+        x._accumulate(np.moveaxis(expanded.reshape(moved.shape), 0, axis))
+
+    return Tensor._make(out_data, (x,), backward)

@@ -1,0 +1,133 @@
+"""Optimizers and learning-rate schedules.
+
+The paper trains with Adam (initial lr 0.001) and decays the learning rate
+by 0.8 every 5 epochs (paper §VI-A5); :class:`StepDecay` implements exactly
+that schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from .module import Parameter
+
+
+class Optimizer:
+    """Base optimizer: holds parameters and the current learning rate."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.grad = None
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            parameter.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_grad_norm(parameters: Iterable[Parameter],
+                   max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is <= ``max_norm``.
+
+    Returns the pre-clipping norm.  Standard guard against exploding
+    recurrent gradients.
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum())
+                              for p in parameters)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for parameter in parameters:
+            parameter.grad *= scale
+    return total
+
+
+class StepDecay:
+    """Multiply the optimizer's lr by ``factor`` every ``every`` epochs.
+
+    With ``factor=0.8, every=5`` this is the paper's published schedule.
+    """
+
+    def __init__(self, optimizer: Optimizer, factor: float = 0.8,
+                 every: int = 5, min_lr: float = 1e-6):
+        self.optimizer = optimizer
+        self.factor = factor
+        self.every = every
+        self.min_lr = min_lr
+        self._initial_lr = optimizer.lr
+        self._epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the (possibly updated) lr."""
+        self._epoch += 1
+        drops = self._epoch // self.every
+        self.optimizer.lr = max(self._initial_lr * self.factor ** drops,
+                                self.min_lr)
+        return self.optimizer.lr
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch

@@ -1,0 +1,207 @@
+"""Recurrent networks: GRU cells, stacked GRUs, and sequence-to-sequence.
+
+The basic framework (paper §IV-C) forecasts the factor sequences with a
+sequence-to-sequence GRU; the FC/RNN baseline uses the same machinery on
+flattened OD tensors.  The advanced framework replaces the dense gates with
+graph convolutions — that variant (CNRNN) lives in
+:mod:`repro.core.cnrnn`, but it mirrors the gate structure defined here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from . import init, ops
+from .module import Module, Parameter
+from .tensor import Tensor
+
+
+class GRUCell(Module):
+    """Gated recurrent unit cell.
+
+    Implements the standard GRU update::
+
+        r = sigmoid([h, x] W_r + b_r)        # reset gate
+        u = sigmoid([h, x] W_u + b_u)        # update gate
+        c = tanh([r * h, x] W_c + b_c)       # candidate state
+        h' = u * h + (1 - u) * c
+
+    matching the gate layout the paper adopts for both the seq2seq GRU
+    (Eqs. in §IV-C) and — with graph-convolutional gates — the CNRNN
+    (Eqs. 7–10).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        joint = input_size + hidden_size
+        self.w_reset = Parameter(init.xavier_uniform((joint, hidden_size), rng))
+        self.b_reset = Parameter(np.zeros(hidden_size))
+        self.w_update = Parameter(init.xavier_uniform((joint, hidden_size), rng))
+        self.b_update = Parameter(np.zeros(hidden_size))
+        self.w_cand = Parameter(init.xavier_uniform((joint, hidden_size), rng))
+        self.b_cand = Parameter(np.zeros(hidden_size))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """One step: inputs ``x (batch, input)``, state ``h (batch, hidden)``."""
+        hx = ops.concat([h, x], axis=-1)
+        reset = ops.sigmoid(hx.matmul(self.w_reset) + self.b_reset)
+        update = ops.sigmoid(hx.matmul(self.w_update) + self.b_update)
+        rhx = ops.concat([reset * h, x], axis=-1)
+        candidate = ops.tanh(rhx.matmul(self.w_cand) + self.b_cand)
+        return update * h + (1.0 - update) * candidate
+
+    def initial_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_size)))
+
+
+class GRU(Module):
+    """(Optionally stacked) GRU over a full sequence.
+
+    Input is ``(batch, time, features)``; output is the sequence of
+    top-layer hidden states ``(batch, time, hidden)`` plus the final state
+    of every layer.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, num_layers: int = 1):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.cells = [GRUCell(input_size if i == 0 else hidden_size,
+                              hidden_size, rng)
+                      for i in range(num_layers)]
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+
+    def forward(self, x: Tensor,
+                initial: Optional[List[Tensor]] = None):
+        batch, steps = x.shape[0], x.shape[1]
+        states = (initial if initial is not None
+                  else [cell.initial_state(batch) for cell in self.cells])
+        if len(states) != self.num_layers:
+            raise ValueError("one initial state per layer is required")
+        outputs = []
+        for t in range(steps):
+            layer_input = x[:, t]
+            for i, cell in enumerate(self.cells):
+                states[i] = cell(layer_input, states[i])
+                layer_input = states[i]
+            outputs.append(layer_input)
+        return ops.stack(outputs, axis=1), states
+
+
+class Seq2Seq(Module):
+    """Encoder–decoder GRU forecasting ``horizon`` future feature vectors.
+
+    The encoder consumes the historical sequence; its final states seed a
+    decoder that rolls forward ``horizon`` steps.  Decoding starts from the
+    last observed input (``go`` frame) and feeds back its own predictions,
+    the standard inference-mode arrangement the frameworks rely on.  An
+    output projection maps the decoder state to the target dimensionality.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, output_size: int,
+                 rng: np.random.Generator, num_layers: int = 1):
+        super().__init__()
+        self.encoder = GRU(input_size, hidden_size, rng, num_layers)
+        self.decoder = GRU(output_size, hidden_size, rng, num_layers)
+        self.proj_weight = Parameter(
+            init.xavier_uniform((hidden_size, output_size), rng))
+        self.proj_bias = Parameter(np.zeros(output_size))
+        self.input_size = input_size
+        self.output_size = output_size
+
+    def _project(self, h: Tensor) -> Tensor:
+        return h.matmul(self.proj_weight) + self.proj_bias
+
+    def forward(self, history: Tensor, horizon: int,
+                targets: Optional[Tensor] = None,
+                teacher_forcing: float = 0.0,
+                rng: Optional[np.random.Generator] = None) -> Tensor:
+        """Forecast ``horizon`` steps from ``history (batch, s, input)``.
+
+        When ``targets`` is provided and ``teacher_forcing > 0``, each
+        decoder input is, with that probability, the ground-truth previous
+        frame instead of the model's own prediction (scheduled sampling is
+        the caller's responsibility).
+        Returns ``(batch, horizon, output)``.
+        """
+        if teacher_forcing > 0.0 and targets is None:
+            raise ValueError("teacher forcing requires targets")
+        _, states = self.encoder(history)
+        batch = history.shape[0]
+        # GO frame: the most recent observation, projected if sizes differ.
+        if self.input_size == self.output_size:
+            step_input = history[:, -1]
+        else:
+            step_input = Tensor(np.zeros((batch, self.output_size)))
+        predictions = []
+        for j in range(horizon):
+            layer_input = step_input
+            for i, cell in enumerate(self.decoder.cells):
+                states[i] = cell(layer_input, states[i])
+                layer_input = states[i]
+            prediction = self._project(layer_input)
+            predictions.append(prediction)
+            use_truth = (teacher_forcing > 0.0 and rng is not None
+                         and rng.random() < teacher_forcing
+                         and j < horizon - 1)
+            step_input = targets[:, j] if use_truth else prediction
+        return ops.stack(predictions, axis=1)
+
+
+class LSTMCell(Module):
+    """Long short-term memory cell.
+
+    The paper chose GRUs for the frameworks (§IV-C, citing efficiency);
+    LSTM is provided as the standard alternative so the choice can be
+    ablated.  Standard formulation with forget-gate bias initialized to
+    1 (the usual trick for gradient flow early in training)::
+
+        f = sigmoid([h, x] W_f + b_f)
+        i = sigmoid([h, x] W_i + b_i)
+        o = sigmoid([h, x] W_o + b_o)
+        g = tanh([h, x] W_g + b_g)
+        c' = f * c + i * g
+        h' = o * tanh(c')
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        joint = input_size + hidden_size
+        self.w_forget = Parameter(init.xavier_uniform((joint, hidden_size),
+                                                      rng))
+        self.b_forget = Parameter(np.ones(hidden_size))
+        self.w_input = Parameter(init.xavier_uniform((joint, hidden_size),
+                                                     rng))
+        self.b_input = Parameter(np.zeros(hidden_size))
+        self.w_output = Parameter(init.xavier_uniform((joint, hidden_size),
+                                                      rng))
+        self.b_output = Parameter(np.zeros(hidden_size))
+        self.w_cell = Parameter(init.xavier_uniform((joint, hidden_size),
+                                                    rng))
+        self.b_cell = Parameter(np.zeros(hidden_size))
+
+    def forward(self, x: Tensor, state: tuple) -> tuple:
+        """One step; ``state`` is ``(h, c)``; returns the new ``(h, c)``."""
+        h, c = state
+        hx = ops.concat([h, x], axis=-1)
+        forget = ops.sigmoid(hx.matmul(self.w_forget) + self.b_forget)
+        input_gate = ops.sigmoid(hx.matmul(self.w_input) + self.b_input)
+        output_gate = ops.sigmoid(hx.matmul(self.w_output) + self.b_output)
+        candidate = ops.tanh(hx.matmul(self.w_cell) + self.b_cell)
+        c_new = forget * c + input_gate * candidate
+        h_new = output_gate * ops.tanh(c_new)
+        return h_new, c_new
+
+    def initial_state(self, batch: int) -> tuple:
+        zeros_state = np.zeros((batch, self.hidden_size))
+        return Tensor(zeros_state.copy()), Tensor(zeros_state.copy())

@@ -1,0 +1,487 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the numerical substrate for the whole library.  The paper's
+models were originally implemented on top of a deep-learning framework; here
+we provide the equivalent capability from scratch: a :class:`Tensor` that
+records the operations applied to it and can back-propagate gradients
+through arbitrary DAGs of those operations.
+
+Design notes
+------------
+* Every differentiable operation creates a new ``Tensor`` whose ``_parents``
+  reference the input tensors and whose ``_backward`` closure knows how to
+  push the output gradient back to those parents.
+* Gradients are accumulated (summed) into ``Tensor.grad`` so a tensor used
+  several times in a graph receives the total derivative.
+* Broadcasting is supported everywhere numpy broadcasts; gradients are
+  reduced back to the original shape by :func:`_unbroadcast`.
+* Graphs are freed after ``backward()`` unless ``retain_graph=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+# The library-wide floating dtype.  float64 (the default) is what the
+# test suite's numerical gradient checks need; switching to float32
+# roughly halves memory traffic and doubles BLAS throughput, which the
+# benchmark harness uses for full-city training runs.
+_DEFAULT_DTYPE = np.float64
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the dtype used by all subsequently-created tensors."""
+    global _DEFAULT_DTYPE
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"dtype must be float32 or float64, got {dtype}")
+    _DEFAULT_DTYPE = dtype.type
+
+
+def get_default_dtype():
+    """The dtype new tensors are created with."""
+    return _DEFAULT_DTYPE
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    """Coerce ``value`` to a numpy array of the library dtype."""
+    if isinstance(value, np.ndarray):
+        if value.dtype != _DEFAULT_DTYPE:
+            return value.astype(_DEFAULT_DTYPE)
+        return value
+    return np.asarray(value, dtype=_DEFAULT_DTYPE)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
+
+    When an operand of shape ``shape`` was broadcast up to ``grad.shape``
+    during the forward pass, the chain rule requires summing the incoming
+    gradient over every broadcast axis.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor that supports reverse-mode differentiation.
+
+    Parameters
+    ----------
+    data:
+        Array (or scalar / nested sequence) holding the tensor's value.
+    requires_grad:
+        If ``True``, operations involving this tensor are recorded so that
+        :meth:`backward` can compute ``d(output)/d(this)`` into ``grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
+                 "name", "_grad_borrowed")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False,
+                 name: Optional[str] = None):
+        self.data: np.ndarray = _as_array(data)
+        self.requires_grad: bool = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self._grad_borrowed: bool = False
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: tuple = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+        self._grad_borrowed = False
+
+    # ------------------------------------------------------------------
+    # graph construction helper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Iterable["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        """Create an op-output tensor, recording the graph edge if needed."""
+        parents = tuple(parents)
+        requires = any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``self.grad``.
+
+        The first gradient is *borrowed* (no copy): backward closures may
+        hand the same array to several parents (e.g. addition), so a
+        borrowed gradient is never mutated in place — a second
+        accumulation allocates a fresh sum instead.  Nodes that receive a
+        single gradient (the vast majority) therefore cost zero copies.
+        """
+        if self.grad is None:
+            self.grad = grad
+            self._grad_borrowed = True
+        elif self._grad_borrowed:
+            self.grad = self.grad + grad
+            self._grad_borrowed = False
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------
+    # backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[ArrayLike] = None,
+                 retain_graph: bool = False) -> None:
+        """Back-propagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor.  Defaults
+            to 1 for scalar tensors (the usual loss case).
+        retain_graph:
+            Keep the graph alive so ``backward`` can be called again.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not "
+                               "require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be supplied for non-scalar "
+                                   "backward()")
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad)
+            if grad.shape != self.shape:
+                raise ValueError(
+                    f"grad shape {grad.shape} does not match tensor shape "
+                    f"{self.shape}")
+
+        order = self._topo_order()
+        self._accumulate(grad)
+        for node in order:
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Interior nodes' grads are transient workspace; clearing
+                # them keeps repeated backward passes (retain_graph) from
+                # double-counting and frees memory early.
+                node.grad = None
+                if not retain_graph:
+                    node._backward = None
+                    node._parents = ()
+
+    def _topo_order(self) -> list:
+        """Reverse topological order of the graph rooted at ``self``."""
+        order: list = []
+        visited: set = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------
+    # arithmetic ops
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = _ensure_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = _ensure_tensor(other)
+        out_data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(-grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return _ensure_tensor(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = _ensure_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = _ensure_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(
+                    -grad * self.data / (other.data ** 2), other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return _ensure_tensor(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        return self.matmul(other)
+
+    def matmul(self, other: ArrayLike) -> "Tensor":
+        """Matrix product with full broadcasting over batch dimensions."""
+        other = _ensure_tensor(other)
+        out_data = self.data @ other.data
+        a, b = self, other
+
+        def backward(grad: np.ndarray) -> None:
+            if a.requires_grad:
+                if b.data.ndim == 1:
+                    # (..., n) @ (n,) -> (...,): grad_a = outer(grad, b)
+                    ga = np.expand_dims(grad, -1) * b.data
+                else:
+                    ga = grad @ np.swapaxes(b.data, -1, -2)
+                if a.data.ndim == 1 and ga.ndim > 1:
+                    ga = ga.sum(axis=tuple(range(ga.ndim - 1)))
+                a._accumulate(_unbroadcast(ga, a.shape))
+            if b.requires_grad:
+                if a.data.ndim == 1:
+                    gb = np.expand_dims(a.data, -1) * grad
+                elif b.data.ndim == 1:
+                    gb = (np.swapaxes(a.data, -1, -2) @
+                          np.expand_dims(grad, -1))[..., 0]
+                    if gb.ndim > 1:
+                        gb = gb.sum(axis=tuple(range(gb.ndim - 1)))
+                else:
+                    gb = np.swapaxes(a.data, -1, -2) @ grad
+                b._accumulate(_unbroadcast(gb, b.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            out = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+                out = np.expand_dims(out, axis=axis)
+            mask = (self.data == out)
+            # Split gradient between ties, matching subgradient convention.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None \
+                else mask.sum()
+            self._accumulate(mask * g / counts)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, axes: Optional[Sequence[int]] = None) -> "Tensor":
+        out_data = self.data.transpose(axes)
+        if axes is None:
+            inverse = None
+        else:
+            inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+        # Basic indexing (ints/slices) selects disjoint elements, so the
+        # gradient can be written with a plain assignment; only fancy
+        # (array) indexing needs the slow duplicate-accumulating add.at.
+        parts = index if isinstance(index, tuple) else (index,)
+        basic = all(isinstance(p, (int, np.integer, slice, type(None),
+                                   type(Ellipsis))) for p in parts)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                if basic:
+                    full[index] = grad
+                else:
+                    np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        out_data = np.expand_dims(self.data, axis)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.squeeze(grad, axis=axis))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def squeeze(self, axis: int) -> "Tensor":
+        out_data = np.squeeze(self.data, axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.expand_dims(grad, axis=axis))
+
+        return Tensor._make(out_data, (self,), backward)
+
+
+def _ensure_tensor(value: ArrayLike) -> Tensor:
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+# ----------------------------------------------------------------------
+# convenience constructors
+# ----------------------------------------------------------------------
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    return Tensor(data, requires_grad=requires_grad)

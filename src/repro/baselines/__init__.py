@@ -1,0 +1,19 @@
+"""Baseline forecasters: NH, GP, VAR, FC/RNN, and MR (paper §VI-A3)."""
+
+from .base import Forecaster, training_interval_range
+from .fc import FCBaseline
+from .gp import GaussianProcessForecaster, rbf_kernel
+from .mr import MRForecaster
+from .neural import NeuralForecaster, plain_loss
+from .nh import NaiveHistogram
+from .var import VARForecaster
+
+__all__ = [
+    "Forecaster", "training_interval_range",
+    "NaiveHistogram",
+    "GaussianProcessForecaster", "rbf_kernel",
+    "VARForecaster",
+    "FCBaseline",
+    "MRForecaster",
+    "NeuralForecaster", "plain_loss",
+]

@@ -1,0 +1,43 @@
+"""Common interface for all forecasting methods.
+
+Every method — the two frameworks, the deep baselines, and the classical
+baselines — exposes the same two-call contract so the experiment harness
+can sweep them uniformly: :meth:`fit` on the training/validation windows,
+then :meth:`predict` full OD tensors for arbitrary window indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..histograms.windows import Split, WindowDataset
+
+
+class Forecaster:
+    """Abstract stochastic OD matrix forecaster."""
+
+    #: short identifier used in result tables ("nh", "bf", "af", ...)
+    name: str = "base"
+
+    def fit(self, dataset: WindowDataset, split: Split,
+            horizon: int) -> None:
+        """Learn from the training (and validation) windows."""
+        raise NotImplementedError
+
+    def predict(self, dataset: WindowDataset, indices: np.ndarray,
+                horizon: int) -> np.ndarray:
+        """Forecast ``(len(indices), horizon, N, N', K)`` full tensors.
+
+        Every cell of the output must be a valid probability histogram.
+        """
+        raise NotImplementedError
+
+
+def training_interval_range(dataset: WindowDataset, split: Split) -> int:
+    """Last interval index (exclusive) visible during training.
+
+    Classical baselines that aggregate over "the training data" must not
+    peek past the final training window's targets.
+    """
+    last_window = int(np.max(split.train))
+    return last_window + dataset.s + dataset.h

@@ -1,0 +1,46 @@
+"""Adapter wrapping autodiff models + Trainer into the Forecaster API."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..autodiff.module import Module
+from ..autodiff.tensor import Tensor
+from ..core.losses import masked_frobenius
+from ..core.trainer import TrainConfig, Trainer, TrainResult
+from ..histograms.windows import Split, WindowDataset
+from .base import Forecaster
+
+LossFn = Callable[[Tensor, np.ndarray, np.ndarray,
+                   Optional[Tensor], Optional[Tensor]], Tensor]
+
+
+def plain_loss(prediction: Tensor, truth: np.ndarray, mask: np.ndarray,
+               r_factors: Optional[Tensor],
+               c_factors: Optional[Tensor]) -> Tensor:
+    """Masked Frobenius data term only (used by the FC baseline)."""
+    return masked_frobenius(prediction, truth, mask)
+
+
+class NeuralForecaster(Forecaster):
+    """Any ``model(history, horizon) -> (pred, R, C)`` module + a loss."""
+
+    def __init__(self, name: str, model: Module,
+                 loss_fn: LossFn = plain_loss,
+                 train_config: TrainConfig = None):
+        self.name = name
+        self.model = model
+        self.trainer = Trainer(model, loss_fn,
+                               train_config or TrainConfig())
+        self.result: Optional[TrainResult] = None
+
+    def fit(self, dataset: WindowDataset, split: Split,
+            horizon: int) -> None:
+        self.result = self.trainer.fit(dataset, split, horizon)
+
+    def predict(self, dataset: WindowDataset, indices: np.ndarray,
+                horizon: int) -> np.ndarray:
+        return self.trainer.predict(dataset, np.atleast_1d(indices),
+                                    horizon)

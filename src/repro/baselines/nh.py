@@ -1,0 +1,55 @@
+"""Naive Histograms (NH) baseline — paper §VI-A3(3).
+
+For each OD pair, pool *all* training-period speed observations into one
+histogram and predict that histogram for every future interval.  Strong
+where traffic is stationary, blind to both time-of-day and recent
+dynamics.  OD pairs never observed during training fall back to the
+city-wide pooled histogram (NH itself cannot fill them otherwise — the
+sparseness limitation the paper points out for this family of methods).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..histograms.windows import Split, WindowDataset
+from .base import Forecaster, training_interval_range
+
+
+class NaiveHistogram(Forecaster):
+    name = "nh"
+
+    def __init__(self):
+        self._table: np.ndarray = None
+
+    def fit(self, dataset: WindowDataset, split: Split,
+            horizon: int) -> None:
+        sequence = dataset.sequence
+        end = training_interval_range(dataset, split)
+        tensors = sequence.tensors[:end]
+        counts = sequence.counts[:end]
+        # Pool observations: each interval histogram is count-weighted so
+        # the result equals the histogram of all underlying trips.
+        weighted = (tensors * counts[..., None]).sum(axis=0)
+        totals = counts.sum(axis=0)
+        table = np.zeros_like(weighted)
+        observed = totals > 0
+        table[observed] = weighted[observed] / totals[observed][..., None]
+        # Global fallback for never-observed pairs.
+        global_hist = weighted.sum(axis=(0, 1))
+        total_trips = totals.sum()
+        if total_trips > 0:
+            global_hist = global_hist / total_trips
+        else:
+            global_hist = np.full(weighted.shape[-1],
+                                  1.0 / weighted.shape[-1])
+        table[~observed] = global_hist
+        self._table = table
+
+    def predict(self, dataset: WindowDataset, indices: np.ndarray,
+                horizon: int) -> np.ndarray:
+        if self._table is None:
+            raise RuntimeError("fit() must be called before predict()")
+        batch = len(np.atleast_1d(indices))
+        return np.broadcast_to(
+            self._table, (batch, horizon) + self._table.shape).copy()

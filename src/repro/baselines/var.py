@@ -1,0 +1,115 @@
+"""Vector autoregression (VAR) baseline — paper §VI-A3(5).
+
+VAR models the linear dependence of the current OD state on its ``lag``
+predecessors *jointly across OD pairs*.  A full VAR over all
+``N·N'·K ≈ 31k`` dimensions is not estimable (it would need ~1e9
+coefficients), so — as is standard for OD matrices — the state is first
+reduced with PCA to ``n_components`` dimensions, the VAR is fit in latent
+space with ridge-regularized least squares, and forecasts are mapped back
+and renormalized into histograms.  Unobserved cells are imputed from the
+NH prior before the PCA, exactly as for the GP baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..histograms.histogram import normalize_histogram
+from ..histograms.windows import Split, WindowDataset
+from .base import Forecaster, training_interval_range
+from .nh import NaiveHistogram
+
+
+class VARForecaster(Forecaster):
+    """PCA-reduced ridge VAR over the OD tensor sequence.
+
+    Parameters
+    ----------
+    lag:
+        Autoregressive order (how many past intervals enter the
+        regression); capped at the dataset's ``s`` when predicting.
+    n_components:
+        Latent dimension of the PCA reduction.
+    ridge:
+        Tikhonov regularization of the least-squares fit.
+    """
+
+    name = "var"
+
+    def __init__(self, lag: int = 3, n_components: int = 40,
+                 ridge: float = 1.0):
+        if lag < 1:
+            raise ValueError("lag must be >= 1")
+        self.lag = lag
+        self.n_components = n_components
+        self.ridge = ridge
+        self._prior = NaiveHistogram()
+        self._mean = None
+        self._basis = None        # (cells, n_components)
+        self._coefficients = None  # (lag * n_comp, n_comp)
+
+    # ------------------------------------------------------------------
+    def _to_latent(self, tensors: np.ndarray, mask: np.ndarray
+                   ) -> np.ndarray:
+        """Impute, flatten, center, and project intervals to latent space."""
+        prior = self._prior._table
+        filled = np.where(mask[..., None], tensors, prior[None, ...])
+        flat = filled.reshape(len(tensors), -1)
+        return (flat - self._mean) @ self._basis
+
+    def fit(self, dataset: WindowDataset, split: Split,
+            horizon: int) -> None:
+        self._prior.fit(dataset, split, horizon)
+        sequence = dataset.sequence
+        end = training_interval_range(dataset, split)
+        prior = self._prior._table
+        filled = np.where(sequence.mask[:end][..., None],
+                          sequence.tensors[:end], prior[None, ...])
+        flat = filled.reshape(end, -1)
+        self._mean = flat.mean(axis=0)
+        centered = flat - self._mean
+        # PCA via SVD of the interval-by-cell matrix.
+        n_comp = min(self.n_components, min(centered.shape) - 1)
+        _, _, vt = np.linalg.svd(centered, full_matrices=False)
+        self._basis = vt[:n_comp].T                    # (cells, n_comp)
+        latent = centered @ self._basis                # (end, n_comp)
+
+        # Ridge least squares: z_t ~ [z_{t-1}, ..., z_{t-lag}].
+        lag = self.lag
+        if end <= lag + 1:
+            raise ValueError(
+                f"not enough training intervals ({end}) for lag {lag}")
+        targets = latent[lag:]
+        design = np.concatenate(
+            [latent[lag - j - 1:end - j - 1] for j in range(lag)], axis=1)
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        self._coefficients = np.linalg.solve(gram, design.T @ targets)
+
+    # ------------------------------------------------------------------
+    def predict(self, dataset: WindowDataset, indices: np.ndarray,
+                horizon: int) -> np.ndarray:
+        if self._coefficients is None:
+            raise RuntimeError("fit() must be called before predict()")
+        indices = np.atleast_1d(indices)
+        prior = self._prior._table
+        cell_shape = prior.shape
+        outputs = []
+        for i in indices:
+            history = dataset.history(i)
+            mask = dataset.history_mask(i)
+            latent = self._to_latent(history, mask)    # (s, n_comp)
+            window = list(latent[-self.lag:])
+            while len(window) < self.lag:              # s < lag: pad
+                window.insert(0, window[0])
+            forecasts = []
+            for _ in range(horizon):
+                stacked = np.concatenate(window[::-1])  # newest first
+                nxt = stacked @ self._coefficients
+                forecasts.append(nxt)
+                window.pop(0)
+                window.append(nxt)
+            latent_future = np.stack(forecasts)         # (h, n_comp)
+            flat = latent_future @ self._basis.T + self._mean
+            tensors = flat.reshape((horizon,) + cell_shape)
+            outputs.append(normalize_histogram(tensors))
+        return np.stack(outputs)

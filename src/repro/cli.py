@@ -1,0 +1,194 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compare``
+    Fit a roster of methods on a synthetic city and print the Table II
+    style accuracy table (optionally export it as JSON).
+``sparseness``
+    Print Figure 7 style sparseness statistics for a city dataset.
+``generate``
+    Generate a city dataset and save its OD tensor sequence as ``.npz``.
+``info``
+    Print library version and subsystem summary.
+
+Examples
+--------
+::
+
+    python -m repro compare --city toy --methods nh,bf,af --epochs 6
+    python -m repro sparseness --city nyc --days 4
+    python -m repro generate --city cd --days 2 --out cd_tensors.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+CITY_CHOICES = ("toy", "nyc", "cd")
+
+
+def _build_dataset(args):
+    from .trips import (chengdu_like_dataset, nyc_like_dataset,
+                        toy_dataset)
+    if args.city == "toy":
+        return toy_dataset(n_days=args.days, n_regions=12, seed=args.seed)
+    if args.city == "nyc":
+        return nyc_like_dataset(n_days=args.days, seed=args.seed)
+    return chengdu_like_dataset(n_days=args.days, seed=args.seed)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--city", choices=CITY_CHOICES, default="toy",
+                        help="which synthetic city to build")
+    parser.add_argument("--days", type=int, default=4,
+                        help="days of trips to generate")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_compare(args) -> int:
+    import repro.autodiff as autodiff
+    from .experiments import (MethodBudget, full_roster, prepare,
+                              run_comparison)
+    from .persistence import export_comparison
+
+    if args.float32:
+        autodiff.set_default_dtype(np.float32)
+    dataset = _build_dataset(args)
+    data = prepare(dataset, s=args.s, h=args.h)
+    budget = MethodBudget(epochs=args.epochs, batch_size=args.batch_size,
+                          max_train_batches=args.max_batches)
+    roster = full_roster(budget)
+    wanted = [m.strip() for m in args.methods.split(",") if m.strip()]
+    unknown = [m for m in wanted if m not in roster]
+    if unknown:
+        print(f"unknown methods: {unknown}; choose from "
+              f"{sorted(roster)}", file=sys.stderr)
+        return 2
+    roster = {name: roster[name] for name in wanted}
+    print(f"{args.city}: {len(dataset.trips):,} trips, "
+          f"{len(data.windows)} windows, "
+          f"{data.sequence.sparsity().mean():.1%} mean sparsity")
+    result = run_comparison(data, roster,
+                            max_test_windows=args.max_test_windows)
+    print(result.format_table())
+    from .viz import bar_chart
+    print("\nOverall EMD (lower is better):")
+    print(bar_chart({name: method.evaluation.overall("emd")
+                     for name, method in result.methods.items()},
+                    width=30))
+    if args.out:
+        export_comparison(result, args.out)
+        print(f"rows written to {args.out}")
+    return 0
+
+
+def cmd_sparseness(args) -> int:
+    from .experiments import prepare, sparseness_report
+
+    dataset = _build_dataset(args)
+    data = prepare(dataset, s=3, h=1)
+    report = sparseness_report(data.sequence)
+    print(f"{args.city}: {report['n_intervals']} intervals, "
+          f"{report['overall_pair_coverage']:.1%} of OD pairs ever seen")
+    for level, stats in report["by_min_trips"].items():
+        print(f"  min_trips={level}: mean per-interval coverage "
+              f"{stats['mean_cell_coverage']:.2%} "
+              f"(p90 {stats['p90_cell_coverage']:.2%})")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from .histograms import build_od_tensors
+    from .persistence import save_sequence
+
+    dataset = _build_dataset(args)
+    sequence = build_od_tensors(dataset.trips, dataset.city,
+                                n_intervals=dataset.field.n_intervals)
+    save_sequence(sequence, args.out)
+    print(f"{len(dataset.trips):,} trips -> tensors "
+          f"{sequence.tensors.shape} saved to {args.out}")
+    return 0
+
+
+def cmd_headroom(args) -> int:
+    from .histograms import build_od_tensors
+    from .trips import oracle_headroom
+
+    dataset = _build_dataset(args)
+    sequence = build_od_tensors(dataset.trips, dataset.city,
+                                n_intervals=dataset.field.n_intervals)
+    report = oracle_headroom(dataset.field, sequence)
+    print(f"{args.city}: conditional-oracle EMD "
+          f"{report.conditional_emd:.4f}, slot-marginal EMD "
+          f"{report.marginal_emd:.4f}")
+    print(f"history-conditioning headroom: {report.gain:.1%} "
+          "(the EMD gain a perfect short-history forecaster has over a "
+          "perfect periodic one)")
+    return 0
+
+
+def cmd_info(args) -> int:
+    import repro
+    print(f"repro {repro.__version__} — stochastic OD matrix forecasting "
+          "(ICDE 2020 reproduction)")
+    print("subsystems: autodiff, graph, regions, trips, histograms, "
+          "core (BF/AF), baselines (NH/GP/VAR/MR/FC), metrics, "
+          "experiments")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="fit methods, print table")
+    _add_common(compare)
+    compare.add_argument("--methods", default="nh,bf,af",
+                         help="comma-separated subset of "
+                              "nh,gp,var,mr,fc,bf,af")
+    compare.add_argument("--s", type=int, default=6)
+    compare.add_argument("--h", type=int, default=3)
+    compare.add_argument("--epochs", type=int, default=6)
+    compare.add_argument("--batch-size", type=int, default=16)
+    compare.add_argument("--max-batches", type=int, default=12)
+    compare.add_argument("--max-test-windows", type=int, default=32)
+    compare.add_argument("--float32", action="store_true",
+                         help="train in float32 (2x faster)")
+    compare.add_argument("--out", default=None,
+                         help="write the result rows as JSON")
+    compare.set_defaults(fn=cmd_compare)
+
+    sparse = sub.add_parser("sparseness", help="Fig. 7 style statistics")
+    _add_common(sparse)
+    sparse.set_defaults(fn=cmd_sparseness)
+
+    generate = sub.add_parser("generate", help="save OD tensors as .npz")
+    _add_common(generate)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(fn=cmd_generate)
+
+    headroom = sub.add_parser(
+        "headroom", help="oracle forecastability diagnostic (DESIGN §7)")
+    _add_common(headroom)
+    headroom.set_defaults(fn=cmd_headroom)
+
+    info = sub.add_parser("info", help="version and subsystem summary")
+    info.set_defaults(fn=cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

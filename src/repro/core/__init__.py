@@ -1,0 +1,28 @@
+"""The paper's contribution: BF and AF forecasting frameworks."""
+
+from .af import AdvancedFramework
+from .attention import AttentiveSeq2Seq, TemporalAttention
+from .bf import BasicFramework
+from .cnrnn import CNRNNCell, GraphSeq2Seq
+from .config import (PaperHyperParameters, PracticalHyperParameters,
+                     paper_af, paper_bf, practical_af, practical_bf)
+from .losses import (af_loss, bf_loss, factor_dirichlet, factor_frobenius,
+                     masked_frobenius)
+from .recovery import recover
+from .spatial import (DEFAULT_BLOCKS, GCNNBlock, SpatialFactorizer,
+                      factorize_tensor_batch)
+from .trainer import TrainConfig, Trainer, TrainResult
+
+__all__ = [
+    "BasicFramework", "AdvancedFramework",
+    "CNRNNCell", "GraphSeq2Seq",
+    "TemporalAttention", "AttentiveSeq2Seq",
+    "SpatialFactorizer", "GCNNBlock", "DEFAULT_BLOCKS",
+    "factorize_tensor_batch",
+    "recover",
+    "masked_frobenius", "bf_loss", "af_loss",
+    "factor_frobenius", "factor_dirichlet",
+    "Trainer", "TrainConfig", "TrainResult",
+    "PaperHyperParameters", "PracticalHyperParameters",
+    "paper_bf", "paper_af", "practical_bf", "practical_af",
+]

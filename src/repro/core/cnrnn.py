@@ -1,0 +1,121 @@
+"""CNRNN: gated recurrence with graph-convolutional gates (AF stage 2).
+
+Paper §V-B, Eqs. 7–10: the structure of a GRU cell is kept, but every
+dense gate transformation is replaced with a Cheby-Net graph convolution
+over the side's proximity graph, so the recurrent state lives *on the
+graph* — one feature vector per region — and spatial correlations are
+preserved through time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..autodiff import ops
+from ..autodiff.module import Module
+from ..autodiff.tensor import Tensor
+from ..graph.chebconv import ChebConv
+
+
+class CNRNNCell(Module):
+    """Graph-convolutional GRU cell (paper Eqs. 7–10).
+
+    States and inputs are graph signals ``(batch, N, channels)``; the
+    reset gate S, update gate U and candidate state all come from
+    Cheby-Net convolutions over the given proximity graph.
+    """
+
+    def __init__(self, graph_weights: np.ndarray, in_channels: int,
+                 hidden_channels: int, order: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.in_channels = in_channels
+        self.hidden_channels = hidden_channels
+        joint = in_channels + hidden_channels
+        self.conv_reset = ChebConv(joint, hidden_channels, order,
+                                   graph_weights, rng)
+        self.conv_update = ChebConv(joint, hidden_channels, order,
+                                    graph_weights, rng)
+        self.conv_cand = ChebConv(joint, hidden_channels, order,
+                                  graph_weights, rng)
+        self.n_nodes = self.conv_reset.n_nodes
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        hx = ops.concat([h, x], axis=-1)
+        reset = ops.sigmoid(self.conv_reset(hx))            # Eq. 7
+        update = ops.sigmoid(self.conv_update(hx))          # Eq. 8
+        rhx = ops.concat([reset * h, x], axis=-1)
+        candidate = ops.tanh(self.conv_cand(rhx))           # Eq. 9
+        return update * h + (1.0 - update) * candidate      # Eq. 10
+
+    def initial_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.n_nodes, self.hidden_channels)))
+
+
+class GraphSeq2Seq(Module):
+    """Encoder–decoder CNRNN forecasting graph-signal sequences.
+
+    Mirrors :class:`repro.autodiff.rnn.Seq2Seq` with CNRNN cells: the
+    encoder consumes ``(B, s, N, C)`` histories, the decoder rolls out
+    ``h`` future signals, and a Cheby-Net projection maps the hidden
+    graph state to the output channels.
+    """
+
+    def __init__(self, graph_weights: np.ndarray, in_channels: int,
+                 hidden_channels: int, out_channels: int, order: int,
+                 rng: np.random.Generator, num_layers: int = 1):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.encoder_cells = [
+            CNRNNCell(graph_weights,
+                      in_channels if i == 0 else hidden_channels,
+                      hidden_channels, order, rng)
+            for i in range(num_layers)]
+        self.decoder_cells = [
+            CNRNNCell(graph_weights,
+                      out_channels if i == 0 else hidden_channels,
+                      hidden_channels, order, rng)
+            for i in range(num_layers)]
+        self.proj = ChebConv(hidden_channels, out_channels, order,
+                             graph_weights, rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+
+    def forward(self, history: Tensor, horizon: int,
+                targets: Optional[Tensor] = None,
+                teacher_forcing: float = 0.0,
+                rng: Optional[np.random.Generator] = None) -> Tensor:
+        """Forecast: ``(B, s, N, C_in)`` → ``(B, h, N, C_out)``."""
+        if history.ndim != 4:
+            raise ValueError(
+                f"history must be (B, s, N, C), got {history.shape}")
+        batch, steps = history.shape[0], history.shape[1]
+        states: List[Tensor] = [cell.initial_state(batch)
+                                for cell in self.encoder_cells]
+        for t in range(steps):
+            layer_input = history[:, t]
+            for i, cell in enumerate(self.encoder_cells):
+                states[i] = cell(layer_input, states[i])
+                layer_input = states[i]
+        if self.in_channels == self.out_channels:
+            step_input = history[:, -1]
+        else:
+            step_input = Tensor(np.zeros(
+                (batch, history.shape[2], self.out_channels)))
+        predictions = []
+        for j in range(horizon):
+            layer_input = step_input
+            for i, cell in enumerate(self.decoder_cells):
+                states[i] = cell(layer_input, states[i])
+                layer_input = states[i]
+            prediction = self.proj(layer_input)
+            predictions.append(prediction)
+            use_truth = (teacher_forcing > 0.0 and targets is not None
+                         and rng is not None
+                         and rng.random() < teacher_forcing
+                         and j < horizon - 1)
+            step_input = targets[:, j] if use_truth else prediction
+        return ops.stack(predictions, axis=1)

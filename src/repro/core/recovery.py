@@ -1,0 +1,50 @@
+"""Recovery stage: factor tensors → full OD stochastic speed tensors.
+
+Paper §IV-D: for each future interval, the predicted factor tensors
+``R̂ ∈ R^{N×β×K}`` and ``Ĉ ∈ R^{β×N'×K}`` are multiplied per speed bucket
+and every OD cell's K raw scores are normalized with a softmax, yielding a
+*full* tensor whose every cell is a valid histogram.
+"""
+
+from __future__ import annotations
+
+from ..autodiff import ops
+from ..autodiff.tensor import Tensor
+
+
+def recover(r_factors: Tensor, c_factors: Tensor) -> Tensor:
+    """Recover full OD tensors from factor tensors.
+
+    Parameters
+    ----------
+    r_factors:
+        ``(..., N, beta, K)`` origin-side factors.
+    c_factors:
+        ``(..., beta, N', K)`` destination-side factors.
+
+    Returns
+    -------
+    ``(..., N, N', K)`` tensor; softmax over the bucket axis guarantees
+    each cell is a probability histogram.
+    """
+    if r_factors.shape[-1] != c_factors.shape[-1]:
+        raise ValueError(
+            f"bucket axes differ: {r_factors.shape[-1]} vs "
+            f"{c_factors.shape[-1]}")
+    if r_factors.shape[-2] != c_factors.shape[-3]:
+        raise ValueError(
+            f"latent ranks differ: R has {r_factors.shape[-2]}, C has "
+            f"{c_factors.shape[-3]}")
+    # Move buckets in front of the matmul axes: (..., K, N, beta) @
+    # (..., K, beta, N') -> (..., K, N, N').
+    ndim_r = r_factors.ndim
+    r_bucket_first = r_factors.transpose(
+        list(range(ndim_r - 3)) + [ndim_r - 1, ndim_r - 3, ndim_r - 2])
+    ndim_c = c_factors.ndim
+    c_bucket_first = c_factors.transpose(
+        list(range(ndim_c - 3)) + [ndim_c - 1, ndim_c - 3, ndim_c - 2])
+    raw = r_bucket_first.matmul(c_bucket_first)
+    ndim = raw.ndim
+    scores = raw.transpose(
+        list(range(ndim - 3)) + [ndim - 2, ndim - 1, ndim - 3])
+    return ops.softmax(scores, axis=-1)

@@ -1,0 +1,152 @@
+"""Spatial factorization (AF stage 1): GCNN encoder per tensor slice.
+
+Paper §V-A.  To build the origin-side factor tensor ``R``, the sparse
+tensor is sliced by origin; each slice is a K-channel signal over the
+*destination* proximity graph.  A stack of Cheby-Net convolutions and
+cluster-aware graph poolings condenses each slice into a ``(β', K)``
+feature block; concatenating over origins yields ``R ∈ R^{N×β'×K}``.  The
+destination-side factor ``C`` uses the same machinery with the roles of
+the graphs swapped.  A final linear projection maps the pooled size β'
+to the configured rank β so both sides agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..autodiff import ops
+from ..autodiff.layers import Linear
+from ..autodiff.module import Module
+from ..autodiff.tensor import Tensor
+from ..graph.chebconv import ChebConv, GraphPool
+from ..graph.coarsening import coarsen_graph, naive_coarsening
+
+
+@dataclass(frozen=True)
+class GCNNBlock:
+    """One conv+pool stage: ``filters`` Cheby filters of ``order`` terms,
+    followed by pooling over ``pool_levels`` matching levels
+    (pool size ``2**pool_levels``)."""
+
+    filters: int
+    order: int
+    pool_levels: int = 1
+
+    def __post_init__(self):
+        if self.filters < 1 or self.order < 1 or self.pool_levels < 0:
+            raise ValueError(f"invalid GCNN block {self}")
+
+
+DEFAULT_BLOCKS = (GCNNBlock(filters=16, order=3, pool_levels=1),
+                  GCNNBlock(filters=8, order=3, pool_levels=1))
+
+
+class SpatialFactorizer(Module):
+    """GCNN encoder over one side's proximity graph.
+
+    Parameters
+    ----------
+    graph_weights:
+        Proximity matrix of the graph the slices live on (destination
+        graph when producing ``R``, origin graph when producing ``C``).
+    n_buckets:
+        Input channels K.
+    rank:
+        Output latent size β (after the final projection).
+    blocks:
+        Conv+pool stages.  The channel count of the final stage is the
+        feature count carried per pooled cluster; a 1×1 projection then
+        maps it back to K channels, matching the paper's "eventually set
+        Q = K".
+    """
+
+    def __init__(self, graph_weights: np.ndarray, n_buckets: int, rank: int,
+                 rng: np.random.Generator,
+                 blocks: Sequence[GCNNBlock] = DEFAULT_BLOCKS,
+                 pool_mode: str = "mean",
+                 cluster_pooling: bool = True):
+        super().__init__()
+        blocks = tuple(blocks)
+        if not blocks:
+            raise ValueError("need at least one GCNN block")
+        total_levels = sum(block.pool_levels for block in blocks)
+        # cluster_pooling=False is the ablation of the paper's
+        # geometrical pooling: nodes are paired by id order instead of
+        # by spatial matching.
+        build = coarsen_graph if cluster_pooling else naive_coarsening
+        self._coarsening = build(np.asarray(graph_weights), total_levels)
+        self.n_buckets = n_buckets
+        self.rank = rank
+        self.convs = []
+        self.pools = []
+        level = 0
+        in_channels = n_buckets
+        for block in blocks:
+            # Level 0 signals are in the original node order (GraphPool
+            # permutes on the way down); deeper levels use the permuted,
+            # padded coarse graphs that match the pooled signal order.
+            conv_graph = (np.asarray(graph_weights) if level == 0
+                          else self._coarsening.graphs[level])
+            self.convs.append(ChebConv(
+                in_channels, block.filters, block.order, conv_graph, rng))
+            if block.pool_levels > 0:
+                self.pools.append(GraphPool(
+                    self._coarsening, levels=block.pool_levels,
+                    start_level=level, mode=pool_mode))
+                level += block.pool_levels
+            else:
+                self.pools.append(None)
+            in_channels = block.filters
+        self.to_buckets = Linear(in_channels, n_buckets, rng)
+        self._pooled_size = (self.pools[-1].output_size
+                             if self.pools[-1] is not None
+                             else self._coarsening.graphs[level].shape[0])
+        self.latent_proj = Linear(self._pooled_size, rank, rng)
+
+    @property
+    def pooled_size(self) -> int:
+        """Number of spatial clusters before the rank projection (β')."""
+        return self._pooled_size
+
+    def forward(self, slices: Tensor) -> Tensor:
+        """Encode graph slices.
+
+        ``slices`` is ``(B*, nodes, K)`` — any number of tensor slices
+        flattened into the leading axis.  Returns ``(B*, rank, K)``.
+        """
+        x = slices
+        for conv, pool in zip(self.convs, self.pools):
+            x = ops.relu(conv(x))
+            if pool is not None:
+                x = pool(x)
+        x = self.to_buckets(x)                      # (B*, beta', K)
+        x = x.transpose((0, 2, 1))                  # (B*, K, beta')
+        x = self.latent_proj(x)                     # (B*, K, rank)
+        return x.transpose((0, 2, 1))               # (B*, rank, K)
+
+
+def factorize_tensor_batch(factorizer_r: SpatialFactorizer,
+                           factorizer_c: SpatialFactorizer,
+                           tensors: Tensor) -> Tuple[Tensor, Tensor]:
+    """Apply both factorizers to a batch of OD tensors.
+
+    ``tensors`` is ``(B, N, N', K)``.  Returns ``(R, C)`` with
+    ``R = (B, N, β, K)`` (origin slices encoded over the destination
+    graph) and ``C = (B, β, N', K)`` (destination slices encoded over the
+    origin graph).
+    """
+    batch, n_origins, n_dests, k = tensors.shape
+    # Origin slices: (B*N, N', K) over the destination graph.
+    r_slices = tensors.reshape(batch * n_origins, n_dests, k)
+    r = factorizer_r(r_slices).reshape(batch, n_origins,
+                                       factorizer_r.rank, k)
+    # Destination slices: (B*N', N, K) over the origin graph.
+    c_slices = tensors.transpose((0, 2, 1, 3)).reshape(
+        batch * n_dests, n_origins, k)
+    c = factorizer_c(c_slices).reshape(batch, n_dests,
+                                       factorizer_c.rank, k)
+    c = c.transpose((0, 2, 1, 3))                   # (B, β, N', K)
+    return r, c

@@ -1,0 +1,163 @@
+"""Drivers behind the paper's figures (7 through 14).
+
+Each function returns plain dict/array results that the benchmark
+harnesses print; no plotting dependency is required to *regenerate* the
+numbers behind every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..graph.proximity import ProximityConfig
+from ..histograms.tensor_builder import ODTensorSequence
+from ..metrics.evaluation import (distance_groups, grouped_metric,
+                                  time_of_day_groups)
+from .methods import MethodBudget, QUICK_BUDGET, make_af
+from .runner import ComparisonResult, ExperimentData
+
+
+# ----------------------------------------------------------------------
+# Figure 7: sparseness of original and preprocessed data
+# ----------------------------------------------------------------------
+def sparseness_report(sequence: ODTensorSequence,
+                      min_trips_levels: Sequence[int] = (1, 3, 5)
+                      ) -> Dict[str, object]:
+    """Sparseness statistics at increasing preprocessing thresholds.
+
+    "Original" keeps every cell with >= 1 trip; "preprocessed" variants
+    require more trips per cell (which trades coverage for histogram
+    reliability), mirroring the original-vs-preprocessed comparison of
+    the paper's Figure 7.
+    """
+    report: Dict[str, object] = {
+        "n_intervals": sequence.n_intervals,
+        "overall_pair_coverage": sequence.coverage(),
+    }
+    per_level = {}
+    for level in min_trips_levels:
+        mask = sequence.counts >= level
+        per_interval = mask.reshape(sequence.n_intervals, -1).mean(axis=1)
+        per_level[level] = {
+            "mean_cell_coverage": float(per_interval.mean()),
+            "median_cell_coverage": float(np.median(per_interval)),
+            "p90_cell_coverage": float(np.percentile(per_interval, 90)),
+            "any_interval_pair_coverage": float(mask.any(axis=0).mean()),
+        }
+    report["by_min_trips"] = per_level
+    return report
+
+
+# ----------------------------------------------------------------------
+# Figures 8-10: accuracy by time of day (plus data-share bars)
+# ----------------------------------------------------------------------
+def time_of_day_analysis(data: ExperimentData,
+                         comparison: ComparisonResult,
+                         metric: str = "emd",
+                         hours_per_block: int = 3) -> Dict[str, dict]:
+    """Per-3-hour-block accuracy for every method with kept predictions.
+
+    Requires ``run_comparison(..., keep_predictions=True)``.  Returns
+    ``{method: {"value": (8,), "share": (8,)}}`` — the curve and the data
+    bars of Figures 8–10.
+    """
+    windows = data.windows
+    intervals_per_day = int(round(
+        24 * 60 / data.sequence.interval_minutes))
+    n_blocks = 24 // hours_per_block
+    results: Dict[str, dict] = {}
+    for name, method in comparison.methods.items():
+        if method.predictions is None:
+            continue
+        test = method.test_indices
+        _, truth, masks = windows.gather(test)
+        target_intervals = np.stack(
+            [windows.target_intervals(i) for i in test])
+        groups = time_of_day_groups(target_intervals, intervals_per_day,
+                                    hours_per_block)
+        results[name] = grouped_metric(truth, method.predictions, masks,
+                                       groups, n_blocks, metric=metric)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figures 11-13: accuracy by OD centroid distance
+# ----------------------------------------------------------------------
+def distance_analysis(data: ExperimentData,
+                      comparison: ComparisonResult,
+                      metric: str = "emd",
+                      edges_km: Optional[Sequence[float]] = None
+                      ) -> Dict[str, dict]:
+    """Per-distance-band accuracy for every method with kept predictions.
+
+    Bands default to the paper's six 0.5 km groups below 3 km; OD pairs
+    beyond the last edge are excluded (group -1).
+    """
+    distances = data.city.centroid_distances()
+    groups = distance_groups(distances, edges_km)
+    n_groups = int(groups.max()) + 1 if (groups >= 0).any() else 0
+    windows = data.windows
+    results: Dict[str, dict] = {}
+    for name, method in comparison.methods.items():
+        if method.predictions is None:
+            continue
+        _, truth, masks = windows.gather(method.test_indices)
+        results[name] = grouped_metric(truth, method.predictions, masks,
+                                       groups, n_groups, metric=metric,
+                                       cell_groups=True)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 14: sensitivity of AF to the proximity parameters
+# ----------------------------------------------------------------------
+@dataclass
+class ProximitySweepResult:
+    """AF accuracy for each proximity-parameter setting."""
+
+    parameter: str
+    values: list
+    metrics: Dict[str, list]
+
+
+def proximity_sweep(data: ExperimentData, parameter: str,
+                    values: Sequence[float],
+                    budget: MethodBudget = QUICK_BUDGET,
+                    metrics: Sequence[str] = ("kl", "js", "emd"),
+                    max_test_windows: int = 32) -> ProximitySweepResult:
+    """Retrain AF for each α or σ value and score it (paper Fig. 14).
+
+    ``parameter`` is ``"alpha"`` or ``"sigma"``; the other parameter is
+    held at the city's default.
+    """
+    if parameter not in ("alpha", "sigma"):
+        raise ValueError("parameter must be 'alpha' or 'sigma'")
+    from ..metrics.evaluation import evaluate_forecasts
+
+    windows, split = data.windows, data.split
+    default = data.city.default_proximity_config()
+    test = split.test
+    if len(test) > max_test_windows:
+        keep = np.linspace(0, len(test) - 1, max_test_windows).astype(int)
+        test = test[keep]
+    _, truth, masks = windows.gather(test)
+    result = ProximitySweepResult(parameter=parameter, values=list(values),
+                                  metrics={m: [] for m in metrics})
+    for value in values:
+        if parameter == "alpha":
+            config = ProximityConfig(sigma=default.sigma, alpha=value)
+        else:
+            config = ProximityConfig(sigma=value, alpha=default.alpha)
+        weights = data.city.proximity(config)
+        forecaster = make_af(data, budget=budget,
+                             origin_weights=weights, dest_weights=weights)
+        forecaster.fit(windows, split, horizon=windows.h)
+        predictions = forecaster.predict(windows, test, horizon=windows.h)
+        evaluation = evaluate_forecasts(truth, predictions, masks,
+                                        metrics=metrics)
+        for metric in metrics:
+            result.metrics[metric].append(evaluation.overall(metric))
+    return result

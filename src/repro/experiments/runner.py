@@ -1,0 +1,163 @@
+"""Experiment runner: fit → forecast → evaluate, for a roster of methods.
+
+This is the engine behind the Table II and figure benchmarks: it wires a
+city dataset through the windowing, fits every requested method once per
+``s`` setting with the maximum horizon, and scores per-step KL/JS/EMD on
+the test windows — the protocol of the paper's §VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines.base import Forecaster
+from ..histograms.tensor_builder import ODTensorSequence, build_od_tensors
+from ..histograms.windows import (Split, WindowDataset,
+                                  chronological_split)
+from ..metrics.evaluation import EvaluationResult, evaluate_forecasts
+from ..trips.datasets import CityDataset
+
+MethodFactory = Callable[["ExperimentData"], Forecaster]
+
+
+@dataclass
+class ExperimentData:
+    """A city dataset prepared for forecasting experiments."""
+
+    dataset: CityDataset
+    sequence: ODTensorSequence
+    windows: WindowDataset
+    split: Split
+
+    @property
+    def city(self):
+        return self.dataset.city
+
+    def origin_proximity(self) -> np.ndarray:
+        return self.city.proximity()
+
+    def dest_proximity(self) -> np.ndarray:
+        return self.city.proximity()
+
+
+def prepare(dataset: CityDataset, s: int, h: int,
+            train_fraction: float = 0.7,
+            val_fraction: float = 0.1) -> ExperimentData:
+    """Build tensors, windows, and the chronological split for a city."""
+    sequence = build_od_tensors(dataset.trips, dataset.city,
+                                n_intervals=dataset.field.n_intervals)
+    windows = WindowDataset(sequence, s=s, h=h)
+    split = chronological_split(windows, train_fraction, val_fraction)
+    return ExperimentData(dataset=dataset, sequence=sequence,
+                          windows=windows, split=split)
+
+
+@dataclass
+class MethodResult:
+    """Evaluation of one fitted method."""
+
+    name: str
+    evaluation: EvaluationResult
+    fit_seconds: float = 0.0
+    predictions: Optional[np.ndarray] = None
+    test_indices: Optional[np.ndarray] = None
+
+
+@dataclass
+class ComparisonResult:
+    """All methods' results for one (dataset, s, h) setting."""
+
+    s: int
+    h: int
+    methods: Dict[str, MethodResult] = field(default_factory=dict)
+
+    def table(self, metrics: Sequence[str] = ("kl", "js", "emd")
+              ) -> List[dict]:
+        """Rows: one per method per forecast step (Table II layout)."""
+        rows = []
+        for name, result in self.methods.items():
+            for k in range(self.h):
+                row = {"method": name, "step": k + 1}
+                for metric in metrics:
+                    row[metric] = float(
+                        result.evaluation.per_step[metric][k])
+                rows.append(row)
+        return rows
+
+    def compare_methods(self, windows, name_a: str, name_b: str,
+                        metric: str = "emd", n_resamples: int = 1000):
+        """Paired bootstrap of two kept-prediction methods (A vs B).
+
+        Requires the comparison to have been run with
+        ``keep_predictions=True``.  Returns a
+        :class:`repro.metrics.bootstrap.BootstrapResult`; negative mean
+        difference means method A is better.
+        """
+        from ..metrics.bootstrap import paired_bootstrap
+
+        a, b = self.methods[name_a], self.methods[name_b]
+        if a.predictions is None or b.predictions is None:
+            raise ValueError(
+                "compare_methods needs keep_predictions=True results")
+        if not np.array_equal(a.test_indices, b.test_indices):
+            raise ValueError("methods were scored on different windows")
+        _, truth, masks = windows.gather(a.test_indices)
+        return paired_bootstrap(truth, a.predictions.astype(np.float64),
+                                b.predictions.astype(np.float64), masks,
+                                metric=metric, n_resamples=n_resamples)
+
+    def format_table(self, metrics: Sequence[str] = ("kl", "js", "emd")
+                     ) -> str:
+        """Human-readable fixed-width table."""
+        lines = [f"s={self.s}  (rows: method x step)"]
+        header = f"{'method':8s} {'step':>4s} " + " ".join(
+            f"{m:>8s}" for m in metrics)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.table(metrics):
+            lines.append(
+                f"{row['method']:8s} {row['step']:4d} " + " ".join(
+                    f"{row[m]:8.4f}" for m in metrics))
+        return "\n".join(lines)
+
+
+def run_comparison(data: ExperimentData,
+                   methods: Dict[str, MethodFactory],
+                   keep_predictions: bool = False,
+                   max_test_windows: Optional[int] = None
+                   ) -> ComparisonResult:
+    """Fit and evaluate every method on the prepared data.
+
+    Each method is trained with the dataset's full horizon ``h`` and
+    scored per forecast step on the test windows, exactly once.
+    """
+    import time
+
+    windows, split = data.windows, data.split
+    h = windows.h
+    test = split.test
+    if max_test_windows is not None and len(test) > max_test_windows:
+        # Evenly thin the test windows to bound evaluation cost.
+        keep = np.linspace(0, len(test) - 1, max_test_windows).astype(int)
+        test = test[keep]
+    _, truth, masks = windows.gather(test)
+    outcome = ComparisonResult(s=windows.s, h=h)
+    for name, factory in methods.items():
+        forecaster = factory(data)
+        start = time.time()
+        forecaster.fit(windows, split, horizon=h)
+        fit_seconds = time.time() - start
+        predictions = forecaster.predict(windows, test, horizon=h)
+        evaluation = evaluate_forecasts(truth, predictions, masks)
+        outcome.methods[name] = MethodResult(
+            name=name, evaluation=evaluation, fit_seconds=fit_seconds,
+            # Stored as float32: kept predictions feed the figure
+            # groupings, where 1e-7 histogram error is immaterial, and a
+            # full-city test set is hundreds of MB in float64.
+            predictions=(predictions.astype(np.float32)
+                         if keep_predictions else None),
+            test_indices=test)
+    return outcome

@@ -1,0 +1,57 @@
+"""Operational forecasting facade.
+
+The experiment harness scores forecasters on historical windows; a
+deployed service instead asks: *given everything observed up to now,
+what are the next ``h`` OD tensors?*  :func:`forecast_latest` adapts a
+fitted :class:`~repro.baselines.Forecaster` to that call by windowing
+the tail of a tensor sequence (padding unknown future intervals with
+empty tensors, which every forecaster ignores at prediction time).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .baselines.base import Forecaster
+from .histograms.tensor_builder import ODTensorSequence
+from .histograms.windows import WindowDataset
+
+
+def forecast_latest(forecaster: Forecaster, sequence: ODTensorSequence,
+                    s: int, horizon: int) -> np.ndarray:
+    """Forecast the ``horizon`` intervals following the sequence's end.
+
+    Parameters
+    ----------
+    forecaster:
+        A fitted forecaster (the ``s`` used here must match the history
+        length it was trained with).
+    sequence:
+        All observations up to "now"; the last ``s`` intervals form the
+        model input.
+    s, horizon:
+        History length and number of future intervals.
+
+    Returns
+    -------
+    ``(horizon, N, N', K)`` full OD stochastic speed tensors.
+    """
+    if sequence.n_intervals < s:
+        raise ValueError(
+            f"need at least s={s} observed intervals, have "
+            f"{sequence.n_intervals}")
+    t, n, n_prime, k = sequence.tensors.shape
+    pad_shape = (horizon, n, n_prime, k)
+    padded = ODTensorSequence(
+        tensors=np.concatenate([sequence.tensors,
+                                np.zeros(pad_shape)]),
+        mask=np.concatenate([sequence.mask,
+                             np.zeros(pad_shape[:3], dtype=bool)]),
+        counts=np.concatenate([sequence.counts,
+                               np.zeros(pad_shape[:3])]),
+        spec=sequence.spec,
+        interval_minutes=sequence.interval_minutes)
+    windows = WindowDataset(padded, s=s, h=horizon)
+    last = len(windows) - 1   # history = final s real intervals
+    prediction = forecaster.predict(windows, np.array([last]), horizon)
+    return prediction[0]

@@ -1,0 +1,95 @@
+"""Graph Laplacians and Chebyshev polynomial machinery for Cheby-Net.
+
+The paper's graph convolution (its Eq. 5 and surrounding text) expands a
+graph signal ``x`` in the Chebyshev basis of the *scaled* Laplacian::
+
+    L      = D - W                       (combinatorial Laplacian)
+    L_hat  = 2 L / lambda_max - I        (spectrum rescaled into [-1, 1])
+    t_1    = x
+    t_2    = L_hat x
+    t_s    = 2 L_hat t_{s-1} - t_{s-2}   (s > 2)
+
+and learns one coefficient per basis term per filter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def laplacian(weights: np.ndarray) -> np.ndarray:
+    """Combinatorial Laplacian ``L = D - W`` of a weighted graph."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
+        raise ValueError(f"adjacency must be square, got {weights.shape}")
+    if not np.allclose(weights, weights.T, atol=1e-10):
+        raise ValueError("adjacency must be symmetric")
+    degree = np.diag(weights.sum(axis=1))
+    return degree - weights
+
+
+def normalized_laplacian(weights: np.ndarray) -> np.ndarray:
+    """Symmetric normalized Laplacian ``I - D^-1/2 W D^-1/2``.
+
+    Isolated nodes (zero degree) get an identity row, the usual convention.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    degree = weights.sum(axis=1)
+    with np.errstate(divide="ignore"):
+        inv_sqrt = 1.0 / np.sqrt(degree)
+    inv_sqrt[~np.isfinite(inv_sqrt)] = 0.0
+    n = weights.shape[0]
+    return np.eye(n) - (inv_sqrt[:, None] * weights * inv_sqrt[None, :])
+
+
+def max_eigenvalue(matrix: np.ndarray) -> float:
+    """Largest eigenvalue of a symmetric matrix (for Laplacian scaling)."""
+    return float(np.linalg.eigvalsh(matrix)[-1])
+
+
+def scaled_laplacian(weights: np.ndarray,
+                     lambda_max: float = None,
+                     normalized: bool = False) -> np.ndarray:
+    """Scaled Laplacian ``2 L / lambda_max - I`` with spectrum in [-1, 1].
+
+    Parameters
+    ----------
+    weights:
+        Symmetric adjacency/proximity matrix.
+    lambda_max:
+        Precomputed largest Laplacian eigenvalue; computed exactly when
+        omitted.
+    normalized:
+        Use the symmetric normalized Laplacian instead of ``D - W``.
+    """
+    lap = normalized_laplacian(weights) if normalized else laplacian(weights)
+    n = lap.shape[0]
+    # (Near-)edgeless graphs — including denormal edge weights that make
+    # the eigensolver unstable — degenerate to L ≈ 0, i.e. -I.
+    if np.abs(lap).max() < 1e-12:
+        return -np.eye(n)
+    if lambda_max is None:
+        lambda_max = max_eigenvalue(lap)
+    if lambda_max < 1e-12:
+        lambda_max = 2.0
+    return (2.0 / lambda_max) * lap - np.eye(n)
+
+
+def chebyshev_basis(scaled_lap: np.ndarray, signal: np.ndarray,
+                    order: int) -> np.ndarray:
+    """Stack the first ``order`` Chebyshev terms of ``signal``.
+
+    ``signal`` has nodes on its *first* axis, shape ``(N, ...)``; the
+    result has shape ``(order, N, ...)`` with ``result[0] = signal`` and
+    the paper's recursion above.  This numpy-level helper backs both the
+    differentiable layer and the tests.
+    """
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    terms = [np.asarray(signal, dtype=np.float64)]
+    if order > 1:
+        terms.append(np.tensordot(scaled_lap, terms[0], axes=(1, 0)))
+    for _ in range(2, order):
+        nxt = 2.0 * np.tensordot(scaled_lap, terms[-1], axes=(1, 0)) - terms[-2]
+        terms.append(nxt)
+    return np.stack(terms, axis=0)

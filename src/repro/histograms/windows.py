@@ -1,0 +1,112 @@
+"""Sliding-window samples and chronological splits for forecasting.
+
+A sample pairs ``s`` consecutive historical tensors with the ``h``
+following tensors (paper problem statement).  Samples are materialized
+lazily — the underlying tensor sequence is stored once and windows are
+views into it — so a two-week city dataset fits comfortably in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from .tensor_builder import ODTensorSequence
+
+
+@dataclass
+class WindowDataset:
+    """Sliding (history, future) windows over an OD tensor sequence.
+
+    Sample ``i`` uses intervals ``[i, i+s)`` as history and
+    ``[i+s, i+s+h)`` as the forecast target.
+    """
+
+    sequence: ODTensorSequence
+    s: int
+    h: int
+
+    def __post_init__(self):
+        if self.s < 1 or self.h < 1:
+            raise ValueError("s and h must be >= 1")
+        if len(self) <= 0:
+            raise ValueError(
+                f"sequence with {self.sequence.n_intervals} intervals too "
+                f"short for s={self.s}, h={self.h}")
+
+    def __len__(self) -> int:
+        return self.sequence.n_intervals - self.s - self.h + 1
+
+    # ------------------------------------------------------------------
+    def history(self, i: int) -> np.ndarray:
+        """History tensors, shape ``(s, N, N', K)``."""
+        return self.sequence.tensors[i:i + self.s]
+
+    def history_mask(self, i: int) -> np.ndarray:
+        return self.sequence.mask[i:i + self.s]
+
+    def target(self, i: int) -> np.ndarray:
+        """Future tensors, shape ``(h, N, N', K)``."""
+        return self.sequence.tensors[i + self.s:i + self.s + self.h]
+
+    def target_mask(self, i: int) -> np.ndarray:
+        """Indication tensors Ω of the future intervals, ``(h, N, N')``."""
+        return self.sequence.mask[i + self.s:i + self.s + self.h]
+
+    def target_intervals(self, i: int) -> np.ndarray:
+        """Absolute interval indices of the targets (for time-of-day)."""
+        return np.arange(i + self.s, i + self.s + self.h)
+
+    # ------------------------------------------------------------------
+    def gather(self, indices) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stack samples: returns (histories, targets, target_masks)."""
+        histories = np.stack([self.history(i) for i in indices])
+        targets = np.stack([self.target(i) for i in indices])
+        masks = np.stack([self.target_mask(i) for i in indices])
+        return histories, targets, masks
+
+    def batches(self, indices: np.ndarray, batch_size: int,
+                rng: np.random.Generator = None
+                ) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield shuffled mini-batches over the given sample indices."""
+        indices = np.asarray(indices)
+        if rng is not None:
+            indices = rng.permutation(indices)
+        for start in range(0, len(indices), batch_size):
+            yield self.gather(indices[start:start + batch_size])
+
+
+@dataclass(frozen=True)
+class Split:
+    """Chronological train/validation/test partition of window indices."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+
+def chronological_split(dataset: WindowDataset,
+                        train_fraction: float = 0.7,
+                        val_fraction: float = 0.1) -> Split:
+    """Split window indices by time: train on the earliest data,
+    validate next, test on the most recent — the standard forecasting
+    protocol, preventing leakage from the future into training.
+    """
+    if not 0 < train_fraction < 1 or not 0 <= val_fraction < 1:
+        raise ValueError("fractions must lie in (0, 1)")
+    if train_fraction + val_fraction >= 1:
+        raise ValueError("train + val fractions must leave room for test")
+    n = len(dataset)
+    train_end = int(n * train_fraction)
+    val_end = int(n * (train_fraction + val_fraction))
+    indices = np.arange(n)
+    split = Split(train=indices[:train_end],
+                  val=indices[train_end:val_end],
+                  test=indices[val_end:])
+    if min(len(split.train), len(split.val), len(split.test)) == 0:
+        raise ValueError(
+            f"split produced an empty part for {n} windows; use a longer "
+            "sequence or different fractions")
+    return split

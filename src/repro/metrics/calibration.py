@@ -1,0 +1,103 @@
+"""Probabilistic-forecast quality: sharpness, calibration, RPS.
+
+The paper scores forecasts against *empirical* histograms (KL/JS/EMD).
+A production system also needs to know whether the predicted
+distributions are **calibrated** — when the model says "bucket 3 with
+probability 0.4", does bucket 3 happen 40 % of the time?  This module
+scores predicted histograms directly against per-trip outcomes:
+
+* :func:`ranked_probability_score` — the proper scoring rule for ordinal
+  buckets (squared CDF distance to the outcome's step CDF); minimized in
+  expectation by the true distribution.
+* :func:`expected_calibration_error` — reliability of the predicted
+  bucket probabilities.
+* :func:`histogram_entropy` / :func:`sharpness` — how concentrated the
+  forecasts are (calibration is only meaningful alongside sharpness).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def histogram_entropy(histograms: np.ndarray) -> np.ndarray:
+    """Shannon entropy (nats) of histograms over the last axis."""
+    h = np.asarray(histograms, dtype=np.float64)
+    safe = np.where(h > 0, h, 1.0)
+    return -(h * np.log(safe)).sum(axis=-1)
+
+
+def sharpness(histograms: np.ndarray) -> float:
+    """Mean entropy of a forecast set — lower is sharper."""
+    return float(histogram_entropy(histograms).mean())
+
+
+def ranked_probability_score(predictions: np.ndarray,
+                             outcomes: np.ndarray) -> np.ndarray:
+    """RPS of predicted histograms against realized bucket indices.
+
+    ``predictions`` is ``(..., K)``; ``outcomes`` holds the realized
+    bucket index per forecast, shape ``(...,)``.  RPS is
+    ``sum_k (CDF_pred(k) - 1[outcome <= k])^2``; lower is better, 0 is a
+    certain correct forecast.
+    """
+    predictions = np.asarray(predictions, dtype=np.float64)
+    outcomes = np.asarray(outcomes)
+    k = predictions.shape[-1]
+    if (outcomes < 0).any() or (outcomes >= k).any():
+        raise ValueError("outcomes must be valid bucket indices")
+    forecast_cdf = np.cumsum(predictions, axis=-1)
+    outcome_cdf = (np.arange(k) >= outcomes[..., None]).astype(np.float64)
+    return ((forecast_cdf - outcome_cdf) ** 2).sum(axis=-1)
+
+
+def expected_calibration_error(predictions: np.ndarray,
+                               outcomes: np.ndarray,
+                               n_bins: int = 10
+                               ) -> Tuple[float, np.ndarray, np.ndarray]:
+    """Reliability of per-bucket probabilities.
+
+    Every (forecast, bucket) pair contributes a predicted probability
+    and a hit indicator; pairs are grouped into ``n_bins`` confidence
+    bins and the ECE is the share-weighted mean |confidence − frequency|.
+
+    Returns ``(ece, bin_confidence, bin_frequency)``; empty bins hold
+    NaN in the curves.
+    """
+    predictions = np.asarray(predictions, dtype=np.float64)
+    outcomes = np.asarray(outcomes)
+    k = predictions.shape[-1]
+    flat_prob = predictions.reshape(-1, k).ravel()
+    hits = (outcomes[..., None] == np.arange(k)).reshape(-1, k).ravel()
+    bins = np.clip((flat_prob * n_bins).astype(int), 0, n_bins - 1)
+    confidence = np.zeros(n_bins)
+    frequency = np.zeros(n_bins)
+    counts = np.zeros(n_bins)
+    np.add.at(confidence, bins, flat_prob)
+    np.add.at(frequency, bins, hits.astype(np.float64))
+    np.add.at(counts, bins, 1.0)
+    with np.errstate(invalid="ignore"):
+        conf_curve = np.where(counts > 0, confidence / counts, np.nan)
+        freq_curve = np.where(counts > 0, frequency / counts, np.nan)
+    weights = counts / counts.sum()
+    gaps = np.abs(np.nan_to_num(conf_curve) - np.nan_to_num(freq_curve))
+    ece = float((gaps * weights).sum())
+    return ece, conf_curve, freq_curve
+
+
+def trip_outcomes(trips, city, spec, interval_minutes: float = 15.0
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                             np.ndarray]:
+    """Per-trip (interval, origin, destination, bucket) outcome arrays.
+
+    The glue between a :class:`~repro.trips.TripTable` and the scoring
+    functions: look up each trip's cell and realized speed bucket so the
+    corresponding forecast histogram can be scored.
+    """
+    interval = (trips.departure_min // interval_minutes).astype(np.int64)
+    origin = city.partition.assign(trips.origin_xy)
+    dest = city.partition.assign(trips.dest_xy)
+    bucket = spec.assign_bucket(trips.speed_ms)
+    return interval, origin, dest, bucket

@@ -1,0 +1,94 @@
+"""Saving and loading models, tensor sequences, and result tables.
+
+Everything serializes to plain ``.npz``/JSON files so artifacts remain
+readable without this library:
+
+* model weights — ``save_model`` / ``load_model`` wrap the Module
+  state-dict as an npz archive;
+* OD tensor sequences — the expensive aggregation output can be cached
+  to disk and reloaded for repeated experiments;
+* comparison results — exported as JSON rows for external plotting.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .autodiff.module import Module
+from .experiments.runner import ComparisonResult
+from .histograms.histogram import HistogramSpec
+from .histograms.tensor_builder import ODTensorSequence
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# models
+# ----------------------------------------------------------------------
+def save_model(model: Module, path: PathLike) -> None:
+    """Write a module's weights to an ``.npz`` archive."""
+    state = model.state_dict()
+    np.savez_compressed(str(path), **state)
+
+
+def load_model(model: Module, path: PathLike) -> Module:
+    """Load weights saved by :func:`save_model` into ``model`` (strict).
+
+    The module must already be constructed with matching architecture;
+    returns the same module for chaining.
+    """
+    with np.load(str(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)
+    return model
+
+
+# ----------------------------------------------------------------------
+# OD tensor sequences
+# ----------------------------------------------------------------------
+def save_sequence(sequence: ODTensorSequence, path: PathLike) -> None:
+    """Persist an OD tensor sequence (tensors, mask, counts, metadata)."""
+    np.savez_compressed(
+        str(path),
+        tensors=sequence.tensors.astype(np.float32),
+        mask=sequence.mask,
+        counts=sequence.counts.astype(np.float32),
+        edges=np.asarray(sequence.spec.edges, dtype=np.float64),
+        interval_minutes=np.float64(sequence.interval_minutes))
+
+
+def load_sequence(path: PathLike) -> ODTensorSequence:
+    """Load a sequence saved by :func:`save_sequence`."""
+    with np.load(str(path)) as archive:
+        spec = HistogramSpec(edges=tuple(archive["edges"]))
+        return ODTensorSequence(
+            tensors=archive["tensors"].astype(np.float64),
+            mask=archive["mask"].astype(bool),
+            counts=archive["counts"].astype(np.float64),
+            spec=spec,
+            interval_minutes=float(archive["interval_minutes"]))
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+def export_comparison(result: ComparisonResult, path: PathLike) -> None:
+    """Dump a comparison's per-step metric rows as JSON."""
+    payload = {
+        "s": result.s,
+        "h": result.h,
+        "rows": result.table(),
+        "fit_seconds": {name: method.fit_seconds
+                        for name, method in result.methods.items()},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def import_comparison_rows(path: PathLike) -> list:
+    """Read back the rows written by :func:`export_comparison`."""
+    payload = json.loads(Path(path).read_text())
+    return payload["rows"]

@@ -1,0 +1,134 @@
+"""City partitioning into regions.
+
+The paper exemplifies two partition styles (its Fig. 1): a uniform grid
+and a main-road-based irregular partition.  We provide both:
+
+* :class:`GridPartition` — uniform rows × cols cells over a bounding box
+  (the NYC illustration).
+* :class:`SeededPartition` — nearest-seed (Voronoi) cells, the planar
+  analogue of taxizone/main-road partitions with irregular region shapes.
+
+Both expose the same interface: region count, centroids, a vectorized
+``assign(points)`` mapping coordinates to region ids, and region areas.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .geometry import BoundingBox
+
+
+class Partition:
+    """Interface shared by all partitions."""
+
+    @property
+    def n_regions(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def centroids(self) -> np.ndarray:
+        """Region centroids, shape ``(n_regions, 2)`` in km."""
+        raise NotImplementedError
+
+    def assign(self, points: np.ndarray) -> np.ndarray:
+        """Map ``points (..., 2)`` to region ids (int array)."""
+        raise NotImplementedError
+
+    def centroid_distances(self) -> np.ndarray:
+        """Pairwise centroid distance matrix (km)."""
+        c = self.centroids
+        deltas = c[:, None, :] - c[None, :, :]
+        return np.sqrt((deltas ** 2).sum(axis=-1))
+
+
+class GridPartition(Partition):
+    """Uniform grid partition of a bounding box into rows × cols cells.
+
+    Region ids increase column-first within each row, matching the
+    left-to-right, top-to-bottom numbering of the paper's Fig. 1(a).
+    """
+
+    def __init__(self, box: BoundingBox, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ValueError("rows and cols must be >= 1")
+        self.box = box
+        self.rows = rows
+        self.cols = cols
+        xs = box.x_min + (np.arange(cols) + 0.5) * box.width / cols
+        ys = box.y_min + (np.arange(rows) + 0.5) * box.height / rows
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        self._centroids = np.column_stack([grid_x.ravel(), grid_y.ravel()])
+
+    @property
+    def n_regions(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def centroids(self) -> np.ndarray:
+        return self._centroids
+
+    def assign(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=np.float64)
+        col = np.floor((points[..., 0] - self.box.x_min)
+                       / self.box.width * self.cols).astype(np.int64)
+        row = np.floor((points[..., 1] - self.box.y_min)
+                       / self.box.height * self.rows).astype(np.int64)
+        col = np.clip(col, 0, self.cols - 1)
+        row = np.clip(row, 0, self.rows - 1)
+        return row * self.cols + col
+
+    def cell_area(self) -> float:
+        return self.box.area / self.n_regions
+
+
+class SeededPartition(Partition):
+    """Voronoi-style partition: each point belongs to its nearest seed.
+
+    Mimics irregular administrative partitions (taxizones, main-road
+    cells).  Seeds can be given explicitly or sampled; an optional
+    Lloyd-relaxation pass makes cells more evenly sized, as real
+    administrative regions tend to be.
+    """
+
+    def __init__(self, seeds: np.ndarray, box: Optional[BoundingBox] = None):
+        seeds = np.asarray(seeds, dtype=np.float64)
+        if seeds.ndim != 2 or seeds.shape[1] != 2:
+            raise ValueError(f"seeds must be (n, 2), got {seeds.shape}")
+        if len(seeds) < 2:
+            raise ValueError("need at least 2 seeds")
+        self.seeds = seeds
+        self.box = box
+        self._centroids = seeds.copy()
+
+    @classmethod
+    def random(cls, box: BoundingBox, n_regions: int,
+               rng: np.random.Generator,
+               lloyd_iterations: int = 3) -> "SeededPartition":
+        """Sample seeds uniformly and relax them with Lloyd iterations."""
+        seeds = box.sample(rng, n_regions)
+        for _ in range(lloyd_iterations):
+            samples = box.sample(rng, max(4000, 60 * n_regions))
+            owner = cls(seeds, box).assign(samples)
+            for region in range(n_regions):
+                mine = samples[owner == region]
+                if len(mine):
+                    seeds[region] = mine.mean(axis=0)
+        return cls(seeds, box)
+
+    @property
+    def n_regions(self) -> int:
+        return len(self.seeds)
+
+    @property
+    def centroids(self) -> np.ndarray:
+        return self._centroids
+
+    def assign(self, points: np.ndarray) -> np.ndarray:
+        points = np.asarray(points, dtype=np.float64)
+        flat = points.reshape(-1, 2)
+        d2 = ((flat[:, None, :] - self.seeds[None, :, :]) ** 2).sum(axis=-1)
+        owner = np.argmin(d2, axis=1)
+        return owner.reshape(points.shape[:-1])

@@ -1,0 +1,21 @@
+"""Trip-data substrate: latent traffic fields, trip & GPS generation."""
+
+from .datasets import (CityDataset, chengdu_like_dataset, nyc_like_dataset,
+                       toy_dataset)
+from .diagnostics import HeadroomReport, oracle_headroom
+from .generator import (DemandConfig, TripGenerator, daily_demand_profile,
+                        zipf_popularity)
+from .gps import GpsRecords, GpsSimulator, extract_trips
+from .traffic import (LatentTrafficField, TrafficFieldConfig,
+                      daily_congestion_profile)
+from .trip import Trip, TripTable
+
+__all__ = [
+    "Trip", "TripTable",
+    "LatentTrafficField", "TrafficFieldConfig", "daily_congestion_profile",
+    "TripGenerator", "DemandConfig", "zipf_popularity",
+    "daily_demand_profile",
+    "GpsRecords", "GpsSimulator", "extract_trips",
+    "CityDataset", "nyc_like_dataset", "chengdu_like_dataset", "toy_dataset",
+    "HeadroomReport", "oracle_headroom",
+]

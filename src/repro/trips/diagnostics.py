@@ -1,0 +1,91 @@
+"""Diagnostics of the synthetic data's forecastability.
+
+:func:`oracle_headroom` quantifies how much signal the latent field puts
+in the *recent past* beyond the time-of-day pattern: it scores two
+oracles against the sparse empirical tensors —
+
+* the **conditional oracle**: the field's true distribution for the
+  scored interval (what a perfect history-conditioned forecaster could
+  know), and
+* the **marginal oracle**: the true distribution averaged over the same
+  time-of-day slot across days (what a perfect *periodic* forecaster —
+  the MR family — could know).
+
+Their EMD gap is the headroom available to history-conditioned methods;
+DESIGN.md §7 documents why the generator targets ≈20 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics.divergence import emd
+from .traffic import LatentTrafficField
+
+
+@dataclass(frozen=True)
+class HeadroomReport:
+    """EMD of the two oracles and the relative gain of conditioning."""
+
+    conditional_emd: float
+    marginal_emd: float
+
+    @property
+    def gain(self) -> float:
+        """Relative EMD improvement of conditioning on recent history."""
+        if self.marginal_emd <= 0:
+            return 0.0
+        return 1.0 - self.conditional_emd / self.marginal_emd
+
+
+def oracle_headroom(field: LatentTrafficField,
+                    sequence: "ODTensorSequence",  # noqa: F821 (cyclic)
+                    test_days: int = 1,
+                    stride: int = 7) -> HeadroomReport:
+    """Measure conditional-vs-marginal oracle EMD on the last days.
+
+    Parameters
+    ----------
+    field:
+        The latent traffic field that generated the trips.
+    sequence:
+        The sparse OD tensors built from those trips.
+    test_days:
+        How many trailing days to score.
+    stride:
+        Score every ``stride``-th interval (the oracles are smooth in
+        time, so sub-sampling loses nothing).
+    """
+    if sequence.n_intervals != field.n_intervals:
+        raise ValueError("sequence and field cover different intervals")
+    per_day = field.intervals_per_day
+    n_days = field.n_days
+    if test_days >= n_days:
+        raise ValueError("need at least one non-test day for the marginal")
+    edges = np.asarray(sequence.spec.edges)
+    train_days = n_days - test_days
+    start = train_days * per_day
+    conditional, marginal = [], []
+    truth_cache = {}
+
+    def true_at(t: int) -> np.ndarray:
+        if t not in truth_cache:
+            truth_cache[t] = field.true_histogram(t, edges)
+        return truth_cache[t]
+
+    for t in range(start, field.n_intervals, stride):
+        mask = sequence.mask[t]
+        if not mask.any():
+            continue
+        empirical = sequence.tensors[t][mask]
+        conditional.append(emd(empirical, true_at(t)[mask]).mean())
+        slot = t % per_day
+        slot_mean = np.mean([true_at(day * per_day + slot)
+                             for day in range(train_days)], axis=0)
+        marginal.append(emd(empirical, slot_mean[mask]).mean())
+    if not conditional:
+        raise ValueError("no observed cells in the test period")
+    return HeadroomReport(conditional_emd=float(np.mean(conditional)),
+                          marginal_emd=float(np.mean(marginal)))

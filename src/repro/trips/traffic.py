@@ -1,0 +1,233 @@
+"""Latent spatio-temporal traffic field driving the synthetic trip data.
+
+The paper's claims rest on three properties of urban traffic that the
+generator must reproduce for the evaluation shapes to be meaningful:
+
+1. **Daily periodicity** — congestion peaks at the AM/PM rush hours.
+2. **Spatial correlation** — congestion in a region spills into nearby
+   regions (the reason proximity-graph convolutions help).
+3. **Short-horizon temporal dependency** — the recent past is informative
+   beyond the daily profile (the reason the RNN stage helps); modelled as
+   an AR(1) congestion-shock process, spatially smoothed over the
+   proximity graph.
+
+Per-trip speeds are log-normal around the field-implied OD mean, with
+dispersion growing with trip distance (more route choices → more
+stochastic speeds; the paper's explanation of the Fig. 11–13 trend).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import erf
+
+from ..regions.city import City
+
+MINUTES_PER_DAY = 1440
+
+
+def daily_congestion_profile(interval_minutes: float = 15.0,
+                             am_peak_hour: float = 8.5,
+                             pm_peak_hour: float = 17.5) -> np.ndarray:
+    """Baseline congestion (0..1) per interval of one day, double-peaked."""
+    n = int(round(MINUTES_PER_DAY / interval_minutes))
+    hours = (np.arange(n) + 0.5) * interval_minutes / 60.0
+    am = 0.85 * np.exp(-((hours - am_peak_hour) ** 2) / (2 * 1.3 ** 2))
+    pm = 1.00 * np.exp(-((hours - pm_peak_hour) ** 2) / (2 * 1.6 ** 2))
+    midday = 0.35 * np.exp(-((hours - 13.0) ** 2) / (2 * 3.0 ** 2))
+    return np.clip(am + pm + midday, 0.0, 1.0)
+
+
+@dataclass
+class TrafficFieldConfig:
+    """Tunables of the latent field.
+
+    Attributes
+    ----------
+    interval_minutes:
+        Time discretization of the field (15 min, as in the paper).
+    free_flow_ms:
+        City-wide mean free-flow speed (m/s).
+    congestion_slowdown:
+        Fractional speed loss at congestion 1.0.
+    shock_rho:
+        AR(1) coefficient of the congestion shock process.
+    shock_scale:
+        Standard deviation of fresh shocks per interval.
+    shock_smoothing:
+        Number of proximity-smoothing passes applied to each fresh
+        shock (spatial footprint of congestion waves).
+    weather_strength:
+        Amplitude of an optional city-wide weather process (0 disables
+        it).  Weather episodes (e.g. rain) slow *all* regions at once —
+        the contextual signal the paper's outlook (§VII) proposes
+        feeding into the models; the field exposes it via
+        :meth:`LatentTrafficField.context_series`.
+    base_dispersion:
+        Log-space speed dispersion for very short trips.
+    distance_dispersion:
+        Added log-space dispersion per unit of (saturating) distance.
+    """
+
+    interval_minutes: float = 15.0
+    free_flow_ms: float = 13.0
+    congestion_slowdown: float = 0.62
+    # Shock defaults are calibrated so that conditioning on the recent
+    # past buys roughly a 20 % EMD improvement over the time-of-day
+    # marginal (the "oracle headroom") — the regime where the paper's
+    # short-history forecasting story is meaningful.  Weaker shocks make
+    # purely periodic methods (MR) near-optimal.
+    shock_rho: float = 0.90
+    shock_scale: float = 0.20
+    shock_smoothing: int = 2
+    base_dispersion: float = 0.12
+    distance_dispersion: float = 0.09
+    weather_strength: float = 0.0
+
+
+class LatentTrafficField:
+    """Ground-truth OD speed distributions for a city over ``n_days``.
+
+    The field precomputes a congestion matrix ``(n_intervals, n_regions)``
+    and exposes:
+
+    * :meth:`region_speed` — effective speed of a region at an interval;
+    * :meth:`od_speed_params` — log-normal (μ, σ) of the OD speed;
+    * :meth:`true_histogram` — exact bucket probabilities (the *full*
+      ground-truth tensor the forecasts are ultimately judged against);
+    * :meth:`sample_speeds` — per-trip speed draws.
+    """
+
+    def __init__(self, city: City, n_days: int, seed: int = 0,
+                 config: TrafficFieldConfig = None):
+        if n_days < 1:
+            raise ValueError("n_days must be >= 1")
+        self.city = city
+        self.n_days = n_days
+        self.config = config or TrafficFieldConfig()
+        rng = np.random.default_rng(seed)
+        n = city.n_regions
+        cfg = self.config
+        self.intervals_per_day = int(round(
+            MINUTES_PER_DAY / cfg.interval_minutes))
+        self.n_intervals = self.intervals_per_day * n_days
+
+        # Static spatial structure: smooth free-flow speeds and rush
+        # amplitudes so that nearby regions behave alike.
+        proximity = city.proximity()
+        smoother = proximity + np.eye(n)
+        smoother /= smoother.sum(axis=1, keepdims=True)
+        het = city.heterogeneity
+        raw_speed = rng.normal(0.0, 1.0, size=n)
+        raw_amp = rng.normal(0.0, 1.0, size=n)
+        for _ in range(3):
+            raw_speed = smoother @ raw_speed
+            raw_amp = smoother @ raw_amp
+        raw_speed /= max(raw_speed.std(), 1e-9)
+        raw_amp /= max(raw_amp.std(), 1e-9)
+        self.free_flow = cfg.free_flow_ms * (
+            1.0 + 0.35 * het * raw_speed)
+        self.free_flow = np.clip(self.free_flow, 4.0, 25.0)
+        self.rush_amplitude = np.clip(
+            1.0 + (0.3 + 0.5 * het) * raw_amp, 0.35, 2.2)
+
+        # Dynamic congestion: daily profile x region amplitude + AR(1)
+        # spatially-smoothed shocks.
+        profile = daily_congestion_profile(cfg.interval_minutes)
+        base = np.tile(profile, n_days)[:, None] * self.rush_amplitude[None, :]
+        shocks = np.zeros((self.n_intervals, n))
+        state = np.zeros(n)
+        for t in range(self.n_intervals):
+            fresh = rng.normal(0.0, cfg.shock_scale, size=n)
+            # Repeated smoothing widens the spatial footprint of each
+            # shock — congestion waves span several adjacent regions.
+            for _ in range(max(cfg.shock_smoothing, 0)):
+                fresh = smoother @ fresh
+            state = cfg.shock_rho * state + fresh
+            shocks[t] = state
+        # Optional weather process: a slow, city-wide AR(1) intensity in
+        # [0, 1] that adds congestion everywhere at once.
+        self.weather = np.zeros(self.n_intervals)
+        if cfg.weather_strength > 0:
+            level = 0.0
+            for t in range(self.n_intervals):
+                level = 0.97 * level + rng.normal(0.0, 0.06)
+                self.weather[t] = np.clip(level, 0.0, 1.0)
+        weather_term = (cfg.weather_strength
+                        * self.weather[:, None] * np.ones((1, n)))
+        self.congestion = np.clip(
+            base * (1.0 + 1.5 * shocks) + shocks + weather_term,
+            0.0, 1.35)
+        self._distances = city.centroid_distances()
+
+    def context_series(self) -> np.ndarray:
+        """Exogenous context per interval, shape ``(n_intervals, 1)``.
+
+        Currently the weather intensity; all zeros when the weather
+        process is disabled.  Intended as model input for the paper's
+        contextual-information extension.
+        """
+        return self.weather[:, None].copy()
+
+    # ------------------------------------------------------------------
+    def region_speed(self, t: int) -> np.ndarray:
+        """Effective speeds (m/s) of all regions at interval ``t``."""
+        congestion = np.clip(self.congestion[t], 0.0, 1.0)
+        return self.free_flow * (
+            1.0 - self.config.congestion_slowdown * congestion)
+
+    def od_speed_params(self, t: int) -> tuple:
+        """Log-normal parameters of every OD pair at interval ``t``.
+
+        Returns ``(mu, sigma)`` arrays of shape ``(N, N)`` such that trip
+        speed (m/s) from ``o`` to ``d`` is ``LogNormal(mu[o, d],
+        sigma[o, d])``.  The OD mean combines origin and destination
+        region speeds harmonically (a trip spends time in both ends'
+        traffic); dispersion grows with distance, saturating at ~3 km.
+        """
+        speeds = self.region_speed(t)
+        harmonic = 2.0 / (1.0 / speeds[:, None] + 1.0 / speeds[None, :])
+        saturating = np.minimum(self._distances / 3.0, 1.0)
+        # Slightly faster for longer trips (arterial roads), as observed
+        # in taxi data for the first ~1.5 km.
+        mean = harmonic * (0.9 + 0.18 * saturating)
+        sigma = (self.config.base_dispersion
+                 + self.config.distance_dispersion * saturating
+                 + 0.06 * self.city.heterogeneity) * np.ones_like(mean)
+        mu = np.log(np.maximum(mean, 0.5)) - 0.5 * sigma ** 2
+        return mu, sigma
+
+    def sample_speeds(self, t: int, origins: np.ndarray,
+                      destinations: np.ndarray,
+                      rng: np.random.Generator) -> np.ndarray:
+        """Draw per-trip speeds (m/s) for given OD region index arrays."""
+        mu, sigma = self.od_speed_params(t)
+        draw = rng.normal(mu[origins, destinations],
+                          sigma[origins, destinations])
+        return np.clip(np.exp(draw), 0.3, 30.0)
+
+    def true_histogram(self, t: int, edges: np.ndarray) -> np.ndarray:
+        """Exact bucket probabilities for all OD pairs at interval ``t``.
+
+        ``edges`` are the ``K+1`` bucket boundaries in m/s (the last may
+        be ``inf``).  Returns a dense ``(N, N, K)`` ground-truth tensor —
+        the quantity the *full* forecast tensors approximate.
+        """
+        mu, sigma = self.od_speed_params(t)
+        edges = np.asarray(edges, dtype=np.float64)
+        cdfs = []
+        for edge in edges:
+            if np.isinf(edge):
+                cdfs.append(np.ones_like(mu))
+            elif edge <= 0:
+                cdfs.append(np.zeros_like(mu))
+            else:
+                z = (np.log(edge) - mu) / (sigma * np.sqrt(2.0))
+                cdfs.append(0.5 * (1.0 + erf(z)))
+        cdfs = np.stack(cdfs, axis=-1)
+        probabilities = np.diff(cdfs, axis=-1)
+        probabilities = np.clip(probabilities, 0.0, 1.0)
+        total = probabilities.sum(axis=-1, keepdims=True)
+        return probabilities / np.maximum(total, 1e-12)

@@ -1,0 +1,50 @@
+"""Shared fixtures: small cities, datasets, and tensor sequences.
+
+Everything here is session-scoped and deterministic so the suite stays
+fast; tests that need mutation make their own copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.histograms import WindowDataset, build_od_tensors, chronological_split
+from repro.regions import toy_city
+from repro.trips import toy_dataset
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def city():
+    return toy_city(seed=3, n_regions=12)
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return toy_dataset(n_days=3, n_regions=12, seed=42)
+
+
+@pytest.fixture(scope="session")
+def sequence(dataset):
+    return build_od_tensors(dataset.trips, dataset.city,
+                            n_intervals=dataset.field.n_intervals)
+
+
+@pytest.fixture(scope="session")
+def windows(sequence):
+    return WindowDataset(sequence, s=3, h=2)
+
+
+@pytest.fixture(scope="session")
+def split(windows):
+    return chronological_split(windows)
+
+
+@pytest.fixture(scope="session")
+def proximity(dataset):
+    return dataset.city.proximity()

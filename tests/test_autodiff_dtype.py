@@ -1,0 +1,62 @@
+"""Tests for the global dtype switch (float32 training mode)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (Tensor, get_default_dtype, ops,
+                            set_default_dtype)
+
+
+@pytest.fixture
+def float32_mode():
+    set_default_dtype(np.float32)
+    yield
+    set_default_dtype(np.float64)
+
+
+class TestDtypeSwitch:
+    def test_default_is_float64(self):
+        assert get_default_dtype() is np.float64
+        assert Tensor([1.0]).data.dtype == np.float64
+
+    def test_float32_tensors(self, float32_mode):
+        assert Tensor([1.0]).data.dtype == np.float32
+        assert Tensor(np.zeros(3, dtype=np.float64)).data.dtype \
+            == np.float32
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int32)
+        with pytest.raises(ValueError):
+            set_default_dtype(np.float16)
+
+    def test_ops_stay_float32(self, float32_mode):
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 5)))
+        assert ops.softmax(x).data.dtype == np.float32
+        assert ops.sigmoid(x).data.dtype == np.float32
+        assert (x @ Tensor(np.zeros((5, 2)))).data.dtype == np.float32
+
+    def test_backward_in_float32(self, float32_mode):
+        x = Tensor(np.ones((3, 3)), requires_grad=True)
+        (ops.tanh(x) ** 2).sum().backward()
+        assert x.grad.dtype == np.float32
+
+    def test_training_step_float32(self, float32_mode):
+        from repro.autodiff import Adam, Linear
+        rng = np.random.default_rng(1)
+        layer = Linear(4, 2, rng)
+        assert layer.weight.data.dtype == np.float32
+        opt = Adam(layer.parameters(), lr=1e-3)
+        out = layer(Tensor(rng.normal(size=(8, 4))))
+        (out ** 2).sum().backward()
+        opt.step()
+        assert layer.weight.data.dtype == np.float32
+
+    def test_full_model_float32(self, float32_mode):
+        from repro.core import BasicFramework
+        rng = np.random.default_rng(2)
+        model = BasicFramework(5, 5, 3, rng, rank=2, encoder_dim=4,
+                               hidden_dim=6)
+        pred, _, _ = model(rng.uniform(size=(2, 3, 5, 5, 3)), horizon=1)
+        assert pred.data.dtype == np.float32
+        assert np.allclose(pred.numpy().sum(-1), 1.0, atol=1e-5)

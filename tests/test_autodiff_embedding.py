@@ -1,0 +1,55 @@
+"""Tests for the Embedding layer."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Adam, Embedding, Tensor
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        table = Embedding(10, 4, rng)
+        out = table(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_lookup_matches_weight_rows(self, rng):
+        table = Embedding(6, 3, rng)
+        out = table(np.array([2, 5]))
+        assert np.allclose(out.numpy()[0], table.weight.data[2])
+        assert np.allclose(out.numpy()[1], table.weight.data[5])
+
+    def test_repeated_ids_accumulate_grads(self, rng):
+        table = Embedding(4, 2, rng)
+        out = table(np.array([1, 1, 1]))
+        out.sum().backward()
+        assert np.allclose(table.weight.grad[1], 3.0)
+        assert np.allclose(table.weight.grad[0], 0.0)
+
+    def test_out_of_range_rejected(self, rng):
+        table = Embedding(4, 2, rng)
+        with pytest.raises(IndexError):
+            table(np.array([4]))
+        with pytest.raises(IndexError):
+            table(np.array([-1]))
+
+    def test_float_ids_rejected(self, rng):
+        table = Embedding(4, 2, rng)
+        with pytest.raises(TypeError):
+            table(np.array([1.0]))
+
+    def test_invalid_sizes(self, rng):
+        with pytest.raises(ValueError):
+            Embedding(0, 4, rng)
+
+    def test_trains(self, rng):
+        """Embeddings should separate classes under a simple objective."""
+        table = Embedding(2, 2, rng)
+        opt = Adam(table.parameters(), lr=0.05)
+        targets = np.array([[1.0, 0.0], [0.0, 1.0]])
+        for _ in range(100):
+            out = table(np.array([0, 1]))
+            loss = ((out - Tensor(targets)) ** 2).sum()
+            table.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.allclose(table.weight.data, targets, atol=0.05)

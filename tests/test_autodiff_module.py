@@ -1,0 +1,104 @@
+"""Tests for Module/Parameter infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Linear, Module, Parameter, Sequential, Tensor
+
+
+class _Net(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.layer1 = Linear(3, 4, rng)
+        self.layer2 = Linear(4, 2, rng)
+        self.scale = Parameter(np.ones(2))
+
+    def forward(self, x):
+        return self.layer2(self.layer1(x)) * self.scale
+
+
+@pytest.fixture
+def net(rng):
+    return _Net(rng)
+
+
+class TestParameters:
+    def test_named_parameters_recursive(self, net):
+        names = dict(net.named_parameters())
+        assert "layer1.weight" in names
+        assert "layer2.bias" in names
+        assert "scale" in names
+        assert len(names) == 5
+
+    def test_parameters_in_lists_found(self, rng):
+        class ListNet(Module):
+            def __init__(self):
+                super().__init__()
+                self.blocks = [Linear(2, 2, rng), Linear(2, 2, rng)]
+
+            def forward(self, x):
+                return x
+
+        names = dict(ListNet().named_parameters())
+        assert "blocks.0.weight" in names and "blocks.1.bias" in names
+
+    def test_num_parameters(self, net):
+        assert net.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2 + 2
+
+    def test_zero_grad(self, net, rng):
+        x = Tensor(rng.normal(size=(5, 3)))
+        (net(x) ** 2).sum().backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestModes:
+    def test_train_eval_propagate(self, net):
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_modules_in_lists(self, rng):
+        seq = Sequential(Linear(2, 2, rng), Linear(2, 2, rng))
+        assert len(list(seq.modules())) == 3
+
+    def test_forward_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestStateDict:
+    def test_round_trip(self, net, rng):
+        state = net.state_dict()
+        x = Tensor(rng.normal(size=(4, 3)))
+        before = net(x).data.copy()
+        for p in net.parameters():
+            p.data += 1.0
+        assert not np.allclose(net(x).data, before)
+        net.load_state_dict(state)
+        assert np.allclose(net(x).data, before)
+
+    def test_state_dict_is_copy(self, net):
+        state = net.state_dict()
+        state["scale"][:] = 99.0
+        assert not np.allclose(net.scale.data, 99.0)
+
+    def test_missing_key_raises(self, net):
+        state = net.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, net):
+        state = net.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, net):
+        state = net.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)

@@ -1,0 +1,165 @@
+"""Tests for GRU cells, stacked GRUs, and the seq2seq forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import GRU, Adam, GRUCell, Seq2Seq, Tensor
+
+
+class TestGRUCell:
+    def test_output_shape(self, rng):
+        cell = GRUCell(4, 6, rng)
+        h = cell(Tensor(rng.normal(size=(3, 4))), cell.initial_state(3))
+        assert h.shape == (3, 6)
+
+    def test_state_bounded_by_tanh_dynamics(self, rng):
+        cell = GRUCell(2, 4, rng)
+        h = cell.initial_state(1)
+        for _ in range(50):
+            h = cell(Tensor(rng.normal(size=(1, 2)) * 5), h)
+        assert np.abs(h.data).max() <= 1.0 + 1e-9
+
+    def test_zero_update_gate_keeps_state(self, rng):
+        cell = GRUCell(2, 3, rng)
+        # Force update gate to 1 (u=1 keeps previous state entirely).
+        cell.w_update.data[:] = 0.0
+        cell.b_update.data[:] = 100.0
+        h0 = Tensor(rng.normal(size=(1, 3)))
+        h1 = cell(Tensor(rng.normal(size=(1, 2))), h0)
+        assert np.allclose(h1.data, h0.data, atol=1e-6)
+
+    def test_gradients_flow_through_time(self, rng):
+        cell = GRUCell(2, 3, rng)
+        x = Tensor(rng.normal(size=(1, 2)), requires_grad=True)
+        h = cell.initial_state(1)
+        for _ in range(5):
+            h = cell(x, h)
+        (h ** 2).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+
+
+class TestGRU:
+    def test_sequence_shapes(self, rng):
+        gru = GRU(3, 5, rng, num_layers=2)
+        out, states = gru(Tensor(rng.normal(size=(2, 7, 3))))
+        assert out.shape == (2, 7, 5)
+        assert len(states) == 2
+        assert states[0].shape == (2, 5)
+
+    def test_final_state_matches_last_output(self, rng):
+        gru = GRU(3, 5, rng)
+        out, states = gru(Tensor(rng.normal(size=(2, 7, 3))))
+        assert np.allclose(out.data[:, -1], states[0].data)
+
+    def test_invalid_layers(self, rng):
+        with pytest.raises(ValueError):
+            GRU(3, 5, rng, num_layers=0)
+
+    def test_initial_state_must_match_layers(self, rng):
+        gru = GRU(3, 5, rng, num_layers=2)
+        with pytest.raises(ValueError):
+            gru(Tensor(rng.normal(size=(2, 4, 3))), initial=[Tensor(np.zeros((2, 5)))])
+
+
+class TestSeq2Seq:
+    def test_forecast_shape(self, rng):
+        model = Seq2Seq(4, 6, 4, rng)
+        out = model(Tensor(rng.normal(size=(3, 5, 4))), horizon=2)
+        assert out.shape == (3, 2, 4)
+
+    def test_different_output_size(self, rng):
+        model = Seq2Seq(4, 6, 9, rng)
+        out = model(Tensor(rng.normal(size=(2, 5, 4))), horizon=3)
+        assert out.shape == (2, 3, 9)
+
+    def test_teacher_forcing_requires_targets(self, rng):
+        model = Seq2Seq(4, 6, 4, rng)
+        with pytest.raises(ValueError):
+            model(Tensor(rng.normal(size=(2, 5, 4))), horizon=2,
+                  teacher_forcing=0.5)
+
+    def test_learns_constant_sequence(self, rng):
+        """A seq2seq should learn to forecast a repeating pattern."""
+        model = Seq2Seq(2, 16, 2, rng)
+        opt = Adam(model.parameters(), lr=0.01)
+        t = np.arange(40)
+        series = np.stack([np.sin(t * 0.5), np.cos(t * 0.5)], axis=-1)
+        histories, targets = [], []
+        for i in range(30):
+            histories.append(series[i:i + 6])
+            targets.append(series[i + 6:i + 8])
+        x, y = np.stack(histories), np.stack(targets)
+        first = None
+        for _ in range(80):
+            out = model(Tensor(x), horizon=2)
+            loss = ((out - Tensor(y)) ** 2).mean()
+            if first is None:
+                first = loss.item()
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.3
+
+    def test_all_params_receive_grads(self, rng):
+        model = Seq2Seq(3, 4, 3, rng, num_layers=2)
+        out = model(Tensor(rng.normal(size=(2, 4, 3))), horizon=2)
+        (out ** 2).sum().backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing
+
+
+class TestLSTMCell:
+    def test_state_shapes(self, rng):
+        from repro.autodiff import LSTMCell
+        cell = LSTMCell(3, 5, rng)
+        h, c = cell(Tensor(rng.normal(size=(2, 3))), cell.initial_state(2))
+        assert h.shape == (2, 5) and c.shape == (2, 5)
+
+    def test_hidden_bounded(self, rng):
+        from repro.autodiff import LSTMCell
+        cell = LSTMCell(2, 4, rng)
+        state = cell.initial_state(1)
+        for _ in range(40):
+            state = cell(Tensor(rng.normal(size=(1, 2)) * 4), state)
+        h, c = state
+        assert np.abs(h.data).max() <= 1.0 + 1e-9
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        from repro.autodiff import LSTMCell
+        cell = LSTMCell(2, 4, rng)
+        assert np.allclose(cell.b_forget.data, 1.0)
+
+    def test_gradients_flow_through_time(self, rng):
+        from repro.autodiff import LSTMCell
+        cell = LSTMCell(2, 3, rng)
+        x = Tensor(rng.normal(size=(1, 2)), requires_grad=True)
+        state = cell.initial_state(1)
+        for _ in range(5):
+            state = cell(x, state)
+        (state[0] ** 2).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+
+    def test_learns_memory_task(self, rng):
+        """LSTM can learn to remember the first input of a sequence."""
+        from repro.autodiff import Adam, LSTMCell, Linear
+        cell = LSTMCell(1, 8, rng)
+        head = Linear(8, 1, rng)
+        params = cell.parameters() + head.parameters()
+        opt = Adam(params, lr=0.02)
+        first = None
+        for step in range(120):
+            batch_rng = np.random.default_rng(step)
+            targets = batch_rng.choice([-1.0, 1.0], size=(16, 1))
+            state = cell.initial_state(16)
+            state = cell(Tensor(targets), state)
+            for _ in range(4):
+                state = cell(Tensor(np.zeros((16, 1))), state)
+            out = head(state[0])
+            loss = ((out - Tensor(targets)) ** 2).mean()
+            if first is None:
+                first = loss.item()
+            for p in params:
+                p.grad = None
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.2

@@ -1,0 +1,140 @@
+"""Tests for NH, GP, and VAR baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (GaussianProcessForecaster, NaiveHistogram,
+                             VARForecaster, rbf_kernel,
+                             training_interval_range)
+
+
+class TestTrainingIntervalRange:
+    def test_no_future_leakage(self, windows, split):
+        end = training_interval_range(windows, split)
+        last_train_target = split.train.max() + windows.s + windows.h
+        assert end == last_train_target
+        first_test_history = split.test.min()
+        # All test *histories* start at or after the val boundary.
+        assert first_test_history >= split.val.max()
+
+
+class TestNaiveHistogram:
+    def test_predicts_valid_histograms(self, windows, split):
+        nh = NaiveHistogram()
+        nh.fit(windows, split, horizon=2)
+        pred = nh.predict(windows, split.test[:5], horizon=2)
+        assert pred.shape[0] == 5 and pred.shape[1] == 2
+        assert np.allclose(pred.sum(-1), 1.0)
+
+    def test_constant_across_steps_and_windows(self, windows, split):
+        nh = NaiveHistogram()
+        nh.fit(windows, split, horizon=2)
+        pred = nh.predict(windows, split.test[:3], horizon=2)
+        assert np.allclose(pred[0, 0], pred[2, 1])
+
+    def test_matches_pooled_training_histogram(self, windows, split):
+        nh = NaiveHistogram()
+        nh.fit(windows, split, horizon=2)
+        seq = windows.sequence
+        end = training_interval_range(windows, split)
+        counts = seq.counts[:end]
+        t, o, d = np.unravel_index(np.argmax(counts), counts.shape)
+        weighted = (seq.tensors[:end, o, d]
+                    * counts[:, o, d][:, None]).sum(0)
+        expected = weighted / counts[:, o, d].sum()
+        assert np.allclose(nh._table[o, d], expected)
+
+    def test_unobserved_pairs_get_global_fallback(self, windows, split):
+        nh = NaiveHistogram()
+        nh.fit(windows, split, horizon=1)
+        assert np.allclose(nh._table.sum(-1), 1.0)
+
+    def test_predict_before_fit_raises(self, windows, split):
+        with pytest.raises(RuntimeError):
+            NaiveHistogram().predict(windows, split.test[:1], 1)
+
+
+class TestGaussianProcess:
+    def test_rbf_kernel_properties(self):
+        grid = np.arange(5.0)
+        k = rbf_kernel(grid, grid, length_scale=1.5)
+        assert np.allclose(np.diag(k), 1.0)
+        assert np.allclose(k, k.T)
+        eigenvalues = np.linalg.eigvalsh(k)
+        assert eigenvalues.min() > -1e-10
+
+    def test_predictions_valid(self, windows, split):
+        gp = GaussianProcessForecaster()
+        gp.fit(windows, split, horizon=2)
+        pred = gp.predict(windows, split.test[:4], horizon=2)
+        assert pred.shape[0] == 4
+        assert np.allclose(pred.sum(-1), 1.0)
+        assert (pred >= 0).all()
+
+    def test_reverts_to_prior_far_ahead(self, windows, split):
+        """With a short length scale, long-horizon forecasts approach the
+        prior (NH) prediction."""
+        gp = GaussianProcessForecaster(length_scale=0.5)
+        gp.fit(windows, split, horizon=2)
+        pred = gp.predict(windows, split.test[:2], horizon=2)
+        prior = gp._prior._table
+        gap_step2 = np.abs(pred[:, 1] - prior[None]).mean()
+        assert gap_step2 < 0.05
+
+    def test_predict_before_fit_raises(self, windows, split):
+        with pytest.raises(RuntimeError):
+            GaussianProcessForecaster().predict(windows, split.test[:1], 1)
+
+
+class TestVAR:
+    def test_predictions_valid(self, windows, split):
+        var = VARForecaster(lag=2, n_components=15)
+        var.fit(windows, split, horizon=2)
+        pred = var.predict(windows, split.test[:4], horizon=2)
+        assert pred.shape[0] == 4
+        assert np.allclose(pred.sum(-1), 1.0)
+        assert (pred >= 0).all()
+
+    def test_latent_dimension_capped(self, windows, split):
+        var = VARForecaster(lag=2, n_components=10_000)
+        var.fit(windows, split, horizon=1)
+        assert var._basis.shape[1] < 10_000
+
+    def test_invalid_lag(self):
+        with pytest.raises(ValueError):
+            VARForecaster(lag=0)
+
+    def test_lag_longer_than_history_padded(self, windows, split):
+        var = VARForecaster(lag=5, n_components=10)  # s == 3 < lag
+        var.fit(windows, split, horizon=1)
+        pred = var.predict(windows, split.test[:2], horizon=1)
+        assert np.allclose(pred.sum(-1), 1.0)
+
+    def test_captures_linear_dynamics_better_than_nh(self, windows, split):
+        """On our temporally-correlated data VAR should not be much worse
+        than NH (both valid); mostly a smoke check of the pipeline."""
+        from repro.metrics import evaluate_forecasts
+        _, truth, masks = windows.gather(split.test[:20])
+        nh = NaiveHistogram()
+        nh.fit(windows, split, horizon=2)
+        var = VARForecaster(lag=2, n_components=20)
+        var.fit(windows, split, horizon=2)
+        nh_e = evaluate_forecasts(
+            truth, nh.predict(windows, split.test[:20], 2), masks)
+        var_e = evaluate_forecasts(
+            truth, var.predict(windows, split.test[:20], 2), masks)
+        assert var_e.overall("emd") < nh_e.overall("emd") * 1.2
+
+
+class TestGPHorizonHandling:
+    def test_shorter_horizon_allowed(self, windows, split):
+        gp = GaussianProcessForecaster()
+        gp.fit(windows, split, horizon=2)
+        pred = gp.predict(windows, split.test[:2], horizon=1)
+        assert pred.shape[1] == 1
+
+    def test_longer_horizon_rejected(self, windows, split):
+        gp = GaussianProcessForecaster()
+        gp.fit(windows, split, horizon=2)
+        with pytest.raises(ValueError):
+            gp.predict(windows, split.test[:2], horizon=3)

@@ -1,0 +1,93 @@
+"""Tests for the FC/RNN and MR deep baselines and the neural adapter."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (FCBaseline, MRForecaster, NeuralForecaster,
+                             plain_loss)
+from repro.core import TrainConfig
+
+
+class TestFCBaseline:
+    def test_forward_contract(self, rng):
+        model = FCBaseline(6, 7, 3, rng, encoder_dim=4, hidden_dim=5)
+        pred, r, c = model(rng.uniform(size=(2, 3, 6, 7, 3)), horizon=2)
+        assert pred.shape == (2, 2, 6, 7, 3)
+        assert r is None and c is None
+
+    def test_valid_histograms(self, rng):
+        model = FCBaseline(6, 7, 3, rng)
+        pred, _, _ = model(rng.uniform(size=(2, 3, 6, 7, 3)), horizon=1)
+        assert np.allclose(pred.numpy().sum(-1), 1.0)
+
+    def test_rejects_wrong_ndim(self, rng):
+        model = FCBaseline(6, 7, 3, rng)
+        with pytest.raises(ValueError):
+            model(rng.uniform(size=(3, 6, 7, 3)), horizon=1)
+
+    def test_all_params_grad(self, rng):
+        model = FCBaseline(5, 5, 3, rng, encoder_dim=4, hidden_dim=5)
+        pred, _, _ = model(rng.uniform(size=(2, 3, 5, 5, 3)), horizon=2)
+        truth = rng.uniform(size=(2, 2, 5, 5, 3))
+        mask = np.ones((2, 2, 5, 5), dtype=bool)
+        plain_loss(pred, truth, mask, None, None).backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing
+
+
+class TestMRForecaster:
+    def test_fit_predict_shapes(self, windows, split):
+        mr = MRForecaster(epochs=2, embedding_dim=8, hidden_dim=16)
+        mr.fit(windows, split, horizon=2)
+        pred = mr.predict(windows, split.test[:4], horizon=2)
+        assert pred.shape[:2] == (4, 2)
+        assert np.allclose(pred.sum(-1), 1.0)
+
+    def test_periodic_only_predictions(self, windows, split):
+        """MR output depends only on the target's time-of-day slot, not
+        on the window's history — the paper's criticism of this family."""
+        mr = MRForecaster(epochs=1)
+        mr.fit(windows, split, horizon=1)
+        per_day = int(round(24 * 60
+                            / windows.sequence.interval_minutes))
+        candidates = [(i, j) for i in split.test for j in split.test
+                      if i < j
+                      and (windows.target_intervals(i)[0] % per_day)
+                      == (windows.target_intervals(j)[0] % per_day)]
+        if not candidates:
+            pytest.skip("no same-slot test pairs in toy split")
+        i, j = candidates[0]
+        a = mr.predict(windows, np.array([i]), 1)
+        b = mr.predict(windows, np.array([j]), 1)
+        assert np.allclose(a, b)
+
+    def test_learns_time_variation(self, windows, split):
+        """Predictions at different slots should differ after training."""
+        mr = MRForecaster(epochs=3)
+        mr.fit(windows, split, horizon=1)
+        slots = [windows.target_intervals(i)[0] % 96 for i in split.test]
+        unique = {}
+        for i, slot in zip(split.test, slots):
+            unique.setdefault(slot, i)
+        keys = list(unique.values())[:2]
+        if len(keys) < 2:
+            pytest.skip("not enough distinct slots")
+        a = mr.predict(windows, np.array([keys[0]]), 1)
+        b = mr.predict(windows, np.array([keys[1]]), 1)
+        assert not np.allclose(a, b)
+
+    def test_predict_before_fit_raises(self, windows, split):
+        with pytest.raises(RuntimeError):
+            MRForecaster().predict(windows, split.test[:1], 1)
+
+
+class TestNeuralForecasterAdapter:
+    def test_fit_and_predict(self, windows, split, rng):
+        model = FCBaseline(12, 12, 7, rng, encoder_dim=4, hidden_dim=6)
+        adapter = NeuralForecaster(
+            "fc", model, plain_loss,
+            TrainConfig(epochs=1, batch_size=8, max_train_batches=3))
+        adapter.fit(windows, split, horizon=2)
+        assert adapter.result is not None
+        pred = adapter.predict(windows, split.test[:3], horizon=2)
+        assert pred.shape[0] == 3

@@ -1,0 +1,51 @@
+"""Hygiene checks on the benchmark harness (without running it)."""
+
+import ast
+import os
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
+BENCH_FILES = sorted(BENCH_DIR.glob("test_*.py"))
+
+
+class TestBenchmarkHygiene:
+    def test_every_paper_artifact_has_a_benchmark(self):
+        names = {path.stem for path in BENCH_FILES}
+        assert "test_table1_configs" in names
+        assert "test_table2_overall" in names
+        assert "test_fig7_sparseness" in names
+        assert "test_fig8_10_time_of_day" in names
+        assert "test_fig11_13_distance" in names
+        assert "test_fig14_proximity" in names
+        assert "test_ablations" in names
+
+    @pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.stem)
+    def test_parses_with_docstring(self, path):
+        tree = ast.parse(path.read_text())
+        doc = ast.get_docstring(tree)
+        assert doc, f"{path.name} lacks a docstring"
+
+    @pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.stem)
+    def test_every_test_uses_benchmark_fixture(self, path):
+        """--benchmark-only skips tests without the fixture; a bench test
+        that forgot it would silently never run."""
+        tree = ast.parse(path.read_text())
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef) \
+                    and node.name.startswith("test_"):
+                args = {a.arg for a in node.args.args}
+                assert "benchmark" in args, (
+                    f"{path.name}::{node.name} misses the benchmark "
+                    "fixture")
+
+    def test_runner_script_executable(self):
+        script = BENCH_DIR.parent / "run_benchmarks.sh"
+        assert script.exists()
+        assert os.access(script, os.X_OK)
+
+    def test_conftest_smoke_mode_documented(self):
+        conftest = (BENCH_DIR / "conftest.py").read_text()
+        assert "REPRO_BENCH_SCALE" in conftest
+        assert "smoke" in conftest

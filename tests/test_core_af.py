@@ -1,0 +1,86 @@
+"""Tests for the Advanced Framework."""
+
+import numpy as np
+import pytest
+
+from repro.core import AdvancedFramework, GCNNBlock, af_loss
+from repro.graph import build_proximity
+
+
+@pytest.fixture
+def graphs(rng):
+    w_o = build_proximity(rng.uniform(0, 5, size=(10, 2)))
+    w_d = build_proximity(rng.uniform(0, 5, size=(12, 2)))
+    return w_o, w_d
+
+
+@pytest.fixture
+def model(graphs, rng):
+    w_o, w_d = graphs
+    return AdvancedFramework(w_o, w_d, n_buckets=3, rng=rng, rank=2,
+                             blocks=[GCNNBlock(6, 2, 1)],
+                             rnn_hidden=6, rnn_order=2)
+
+
+class TestAdvancedFramework:
+    def test_forward_shapes_rectangular(self, model, rng):
+        history = rng.uniform(size=(3, 4, 10, 12, 3))
+        pred, r, c = model(history, horizon=2)
+        assert pred.shape == (3, 2, 10, 12, 3)
+        assert r.shape == (3, 2, 10, 2, 3)
+        assert c.shape == (3, 2, 2, 12, 3)
+
+    def test_predictions_are_histograms(self, model, rng):
+        pred, _, _ = model(rng.uniform(size=(2, 3, 10, 12, 3)), horizon=1)
+        assert np.allclose(pred.numpy().sum(-1), 1.0)
+        assert (pred.numpy() > 0).all()
+
+    def test_rejects_wrong_ndim(self, model, rng):
+        with pytest.raises(ValueError):
+            model(rng.uniform(size=(3, 10, 12, 3)), horizon=1)
+
+    def test_all_parameters_receive_gradients(self, model, graphs, rng):
+        w_o, w_d = graphs
+        history = rng.uniform(size=(2, 3, 10, 12, 3))
+        truth = rng.uniform(size=(2, 2, 10, 12, 3))
+        mask = np.ones((2, 2, 10, 12), dtype=bool)
+        pred, r, c = model(history, horizon=2)
+        af_loss(pred, truth, mask, r, c, w_o, w_d, 1e-3, 1e-3).backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing
+
+    def test_fewer_weights_than_bf(self, graphs, rng):
+        """Table I's headline: AF uses fewer weights than BF."""
+        from repro.core import BasicFramework
+        w_o, w_d = graphs
+        af = AdvancedFramework(w_o, w_d, 3, rng, rank=2,
+                               blocks=[GCNNBlock(6, 2, 1)],
+                               rnn_hidden=6, rnn_order=2)
+        bf = BasicFramework(10, 12, 3, rng, rank=2, encoder_dim=8,
+                            hidden_dim=12)
+        assert af.num_parameters() < bf.num_parameters()
+
+    def test_weight_count_independent_of_region_count(self, rng):
+        """Graph convolutions share filters across nodes, so AF's RNN
+        weight count does not scale with N (unlike BF/FC)."""
+        small_w = build_proximity(rng.uniform(0, 5, size=(8, 2)))
+        big_w = build_proximity(rng.uniform(0, 10, size=(30, 2)))
+        kwargs = dict(n_buckets=3, rank=2, blocks=[GCNNBlock(6, 2, 1)],
+                      rnn_hidden=6, rnn_order=2)
+        small = AdvancedFramework(small_w, small_w,
+                                  rng=np.random.default_rng(0), **kwargs)
+        big = AdvancedFramework(big_w, big_w,
+                                rng=np.random.default_rng(0), **kwargs)
+        # Only the latent projection (pooled_size -> rank) may differ.
+        small_rnn = sum(p.size for n, p in small.named_parameters()
+                        if n.startswith("rnn"))
+        big_rnn = sum(p.size for n, p in big.named_parameters()
+                      if n.startswith("rnn"))
+        assert small_rnn == big_rnn
+
+    def test_deterministic_in_eval_mode(self, model, rng):
+        history = rng.uniform(size=(1, 3, 10, 12, 3))
+        model.eval()
+        a = model(history, horizon=1)[0].numpy()
+        b = model(history, horizon=1)[0].numpy()
+        assert np.allclose(a, b)

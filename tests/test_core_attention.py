@@ -1,0 +1,93 @@
+"""Tests for the temporal-attention extension."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Adam, Tensor
+from repro.core import BasicFramework, bf_loss
+from repro.core.attention import AttentiveSeq2Seq, TemporalAttention
+
+
+class TestTemporalAttention:
+    def test_output_shape(self, rng):
+        attention = TemporalAttention(6, rng)
+        query = Tensor(rng.normal(size=(3, 6)))
+        states = Tensor(rng.normal(size=(3, 5, 6)))
+        assert attention(query, states).shape == (3, 6)
+
+    def test_context_is_convex_mix(self, rng):
+        """The context lies inside the convex hull of encoder states:
+        with identical states it must equal them exactly."""
+        attention = TemporalAttention(4, rng)
+        state = rng.normal(size=(1, 1, 4))
+        states = Tensor(np.repeat(state, 5, axis=1))
+        query = Tensor(rng.normal(size=(1, 4)))
+        context = attention(query, states)
+        assert np.allclose(context.numpy(), state[0, 0], atol=1e-6)
+
+    def test_attends_to_matching_state(self, rng):
+        """A query aligned with one encoder state should weight it most."""
+        attention = TemporalAttention(4, rng)
+        attention.w_attend.data = np.eye(4) * 10.0
+        states_data = np.zeros((1, 3, 4))
+        states_data[0, 0] = [1, 0, 0, 0]
+        states_data[0, 1] = [0, 1, 0, 0]
+        states_data[0, 2] = [0, 0, 1, 0]
+        query = Tensor(np.array([[0.0, 1.0, 0.0, 0.0]]))
+        context = attention(query, Tensor(states_data))
+        assert np.argmax(context.numpy()[0]) == 1
+
+    def test_gradients_flow(self, rng):
+        attention = TemporalAttention(4, rng)
+        query = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        states = Tensor(rng.normal(size=(2, 5, 4)), requires_grad=True)
+        (attention(query, states) ** 2).sum().backward()
+        assert query.grad is not None and states.grad is not None
+        assert attention.w_attend.grad is not None
+
+
+class TestAttentiveSeq2Seq:
+    def test_forecast_shape(self, rng):
+        model = AttentiveSeq2Seq(3, 6, 3, rng)
+        out = model(Tensor(rng.normal(size=(2, 5, 3))), horizon=4)
+        assert out.shape == (2, 4, 3)
+
+    def test_all_params_get_grads(self, rng):
+        model = AttentiveSeq2Seq(3, 5, 2, rng)
+        out = model(Tensor(rng.normal(size=(2, 4, 3))), horizon=2)
+        (out ** 2).sum().backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing
+
+    def test_learns_sequence(self, rng):
+        model = AttentiveSeq2Seq(2, 12, 2, rng)
+        t = np.arange(40)
+        series = np.stack([np.sin(t * 0.6), np.cos(t * 0.6)], axis=-1)
+        x = np.stack([series[i:i + 5] for i in range(25)])
+        y = np.stack([series[i + 5:i + 7] for i in range(25)])
+        opt = Adam(model.parameters(), lr=0.01)
+        first = None
+        for _ in range(60):
+            out = model(Tensor(x), horizon=2)
+            loss = ((out - Tensor(y)) ** 2).mean()
+            if first is None:
+                first = loss.item()
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.5
+
+
+class TestAttentiveBF:
+    def test_bf_with_attention(self, rng):
+        model = BasicFramework(5, 5, 3, rng, rank=2, encoder_dim=6,
+                               hidden_dim=8, attention=True)
+        history = rng.uniform(size=(2, 4, 5, 5, 3))
+        pred, r, c = model(history, horizon=2)
+        assert pred.shape == (2, 2, 5, 5, 3)
+        assert np.allclose(pred.numpy().sum(-1), 1.0)
+        truth = rng.uniform(size=(2, 2, 5, 5, 3))
+        mask = np.ones((2, 2, 5, 5), dtype=bool)
+        bf_loss(pred, truth, mask, r, c, 1e-4, 1e-4).backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing

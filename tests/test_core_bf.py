@@ -1,0 +1,84 @@
+"""Tests for the Basic Framework."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Adam
+from repro.core import BasicFramework, bf_loss
+
+
+@pytest.fixture
+def model(rng):
+    return BasicFramework(n_origins=5, n_destinations=6, n_buckets=3,
+                          rng=rng, rank=2, encoder_dim=8, hidden_dim=12)
+
+
+class TestBasicFramework:
+    def test_forward_shapes(self, model, rng):
+        history = rng.uniform(size=(4, 3, 5, 6, 3))
+        pred, r, c = model(history, horizon=2)
+        assert pred.shape == (4, 2, 5, 6, 3)
+        assert r.shape == (4, 2, 5, 2, 3)
+        assert c.shape == (4, 2, 2, 6, 3)
+
+    def test_predictions_are_histograms(self, model, rng):
+        pred, _, _ = model(rng.uniform(size=(2, 3, 5, 6, 3)), horizon=3)
+        data = pred.numpy()
+        assert np.allclose(data.sum(axis=-1), 1.0)
+        assert (data > 0).all()
+
+    def test_rejects_bad_rank_arguments(self, rng):
+        with pytest.raises(ValueError):
+            BasicFramework(5, 6, 3, rng, rank=0)
+
+    def test_rejects_wrong_input_ndim(self, model, rng):
+        with pytest.raises(ValueError):
+            model(rng.uniform(size=(3, 5, 6, 3)), horizon=1)
+
+    def test_all_parameters_get_gradients(self, model, rng):
+        history = rng.uniform(size=(2, 3, 5, 6, 3))
+        truth = rng.uniform(size=(2, 2, 5, 6, 3))
+        mask = np.ones((2, 2, 5, 6), dtype=bool)
+        pred, r, c = model(history, horizon=2)
+        bf_loss(pred, truth, mask, r, c, 1e-3, 1e-3).backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing
+
+    def test_eval_mode_deterministic(self, model, rng):
+        history = rng.uniform(size=(2, 3, 5, 6, 3))
+        model.eval()
+        a = model(history, horizon=1)[0].numpy()
+        b = model(history, horizon=1)[0].numpy()
+        assert np.allclose(a, b)
+
+    def test_dropout_active_in_train_mode(self, rng):
+        model = BasicFramework(5, 6, 3, rng, rank=2, encoder_dim=8,
+                               hidden_dim=12, dropout=0.6)
+        history = rng.uniform(size=(2, 3, 5, 6, 3))
+        model.train()
+        a = model(history, horizon=1)[0].numpy()
+        b = model(history, horizon=1)[0].numpy()
+        assert not np.allclose(a, b)
+
+    def test_learns_stationary_pattern(self, rng):
+        """BF should fit a fixed low-rank OD pattern quickly."""
+        n, k = 4, 3
+        model = BasicFramework(n, n, k, rng, rank=2, encoder_dim=8,
+                               hidden_dim=12, dropout=0.0)
+        # Fixed target: a smooth histogram pattern per cell.
+        base = rng.uniform(0.2, 1.0, size=(n, n, k))
+        base /= base.sum(-1, keepdims=True)
+        history = np.broadcast_to(base, (8, 3, n, n, k)).copy()
+        truth = np.broadcast_to(base, (8, 1, n, n, k)).copy()
+        mask = np.ones((8, 1, n, n), dtype=bool)
+        opt = Adam(model.parameters(), lr=3e-3)
+        first = None
+        for _ in range(60):
+            pred, r, c = model(history, horizon=1)
+            loss = bf_loss(pred, truth, mask, r, c, 0, 0)
+            if first is None:
+                first = loss.item()
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.5

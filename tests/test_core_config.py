@@ -1,0 +1,66 @@
+"""Tests for the Table I model configurations."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (PaperHyperParameters,
+                               PracticalHyperParameters, paper_af,
+                               paper_bf, practical_af, practical_bf)
+from repro.regions import toy_city
+
+
+class TestPaperHyperParameters:
+    def test_published_values(self):
+        hp = PaperHyperParameters()
+        assert hp.rank == 5           # factorization rank r
+        assert hp.n_buckets == 7      # speed buckets K
+        assert hp.dropout == 0.2
+        assert hp.learning_rate == pytest.approx(1e-3)
+        assert hp.decay_factor == 0.8 and hp.decay_every == 5
+
+    def test_paper_bf_builds(self):
+        model = paper_bf(n_regions=20)
+        assert model.rank == 5
+        history = np.random.default_rng(0).uniform(size=(1, 3, 20, 20, 7))
+        pred, r, c = model(history, horizon=1)
+        assert pred.shape == (1, 1, 20, 20, 7)
+
+    def test_paper_af_builds_at_scale(self):
+        city = toy_city(seed=0, n_regions=24)
+        weights = city.proximity()
+        model = paper_af(weights, weights)
+        history = np.random.default_rng(0).uniform(size=(1, 3, 24, 24, 7))
+        pred, r, c = model(history, horizon=1)
+        assert pred.shape == (1, 1, 24, 24, 7)
+        assert np.allclose(pred.numpy().sum(-1), 1.0)
+
+    def test_paper_af_pools_16x(self):
+        """Table I: two pool-4 stages condense each slice 16x before the
+        rank projection."""
+        city = toy_city(seed=0, n_regions=40)
+        weights = city.proximity()
+        model = paper_af(weights, weights)
+        assert model.factor_r.pooled_size <= max(40 // 16 + 2, 3) + 2
+
+
+class TestPracticalConstructors:
+    def test_practical_bf(self):
+        model = practical_bf(10, 12, 7, seed=1)
+        assert model.n_origins == 10 and model.n_destinations == 12
+
+    def test_practical_af(self):
+        city = toy_city(seed=2, n_regions=14)
+        weights = city.proximity()
+        model = practical_af(weights, weights, 7, seed=1)
+        assert model.n_origins == 14
+
+    def test_seeds_differentiate_weights(self):
+        a = practical_bf(8, 8, 7, seed=1)
+        b = practical_bf(8, 8, 7, seed=2)
+        assert not np.allclose(a.encode_r.weight.data,
+                               b.encode_r.weight.data)
+
+    def test_same_seed_same_weights(self):
+        a = practical_bf(8, 8, 7, seed=3)
+        b = practical_bf(8, 8, 7, seed=3)
+        assert np.allclose(a.encode_r.weight.data, b.encode_r.weight.data)

@@ -1,0 +1,82 @@
+"""Tests for the GCNN spatial factorizer (AF stage 1)."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor
+from repro.core import GCNNBlock, SpatialFactorizer, factorize_tensor_batch
+from repro.graph import build_proximity
+
+
+@pytest.fixture
+def weights(rng):
+    return build_proximity(rng.uniform(0, 5, size=(12, 2)))
+
+
+@pytest.fixture
+def factorizer(weights, rng):
+    return SpatialFactorizer(weights, n_buckets=4, rank=3, rng=rng,
+                             blocks=[GCNNBlock(8, 3, 1), GCNNBlock(6, 2, 1)])
+
+
+class TestSpatialFactorizer:
+    def test_output_shape(self, factorizer, rng):
+        out = factorizer(Tensor(rng.uniform(size=(5, 12, 4))))
+        assert out.shape == (5, 3, 4)
+
+    def test_pooled_size_consistent(self, factorizer):
+        # Two single-level pools: ~12/4 clusters (padding dependent).
+        assert factorizer.pooled_size >= 3
+        assert factorizer.pooled_size <= 6
+
+    def test_gcnn_block_validation(self):
+        with pytest.raises(ValueError):
+            GCNNBlock(filters=0, order=2)
+        with pytest.raises(ValueError):
+            GCNNBlock(filters=2, order=0)
+
+    def test_requires_blocks(self, weights, rng):
+        with pytest.raises(ValueError):
+            SpatialFactorizer(weights, 4, 3, rng, blocks=[])
+
+    def test_no_pooling_block(self, weights, rng):
+        f = SpatialFactorizer(weights, 4, 3, rng,
+                              blocks=[GCNNBlock(8, 2, 0)])
+        out = f(Tensor(rng.uniform(size=(2, 12, 4))))
+        assert out.shape == (2, 3, 4)
+
+    def test_gradients_flow(self, factorizer, rng):
+        x = Tensor(rng.uniform(size=(3, 12, 4)), requires_grad=True)
+        (factorizer(x) ** 2).sum().backward()
+        assert x.grad is not None and np.abs(x.grad).sum() > 0
+        missing = [n for n, p in factorizer.named_parameters()
+                   if p.grad is None]
+        assert not missing
+
+    def test_spatially_smooth_inputs_produce_similar_codes(
+            self, weights, rng):
+        """Two inputs that differ only on one region should produce
+        closer codes than two unrelated inputs (locality sanity)."""
+        f = SpatialFactorizer(weights, 4, 3, rng,
+                              blocks=[GCNNBlock(8, 2, 1)])
+        base = rng.uniform(size=(1, 12, 4))
+        bumped = base.copy()
+        bumped[0, 0] += 0.3
+        unrelated = rng.uniform(size=(1, 12, 4))
+        out_base = f(Tensor(base)).numpy()
+        out_bump = f(Tensor(bumped)).numpy()
+        out_other = f(Tensor(unrelated)).numpy()
+        assert np.abs(out_base - out_bump).mean() \
+            < np.abs(out_base - out_other).mean()
+
+
+class TestFactorizeTensorBatch:
+    def test_shapes(self, rng):
+        w_o = build_proximity(rng.uniform(0, 5, size=(6, 2)))
+        w_d = build_proximity(rng.uniform(0, 5, size=(8, 2)))
+        f_r = SpatialFactorizer(w_d, 3, 2, rng, blocks=[GCNNBlock(4, 2, 1)])
+        f_c = SpatialFactorizer(w_o, 3, 2, rng, blocks=[GCNNBlock(4, 2, 1)])
+        tensors = Tensor(rng.uniform(size=(5, 6, 8, 3)))
+        r, c = factorize_tensor_batch(f_r, f_c, tensors)
+        assert r.shape == (5, 6, 2, 3)
+        assert c.shape == (5, 2, 8, 3)

@@ -1,0 +1,77 @@
+"""Tests for the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FCBaseline, plain_loss
+from repro.core import (BasicFramework, TrainConfig, Trainer, bf_loss,
+                        practical_bf)
+
+
+@pytest.fixture
+def small_model(rng):
+    return BasicFramework(12, 12, 7, rng, rank=3, encoder_dim=8,
+                          hidden_dim=12, dropout=0.1)
+
+
+def _loss(pred, truth, mask, r, c):
+    return bf_loss(pred, truth, mask, r, c, 1e-4, 1e-4)
+
+
+class TestTrainer:
+    def test_fit_reduces_validation_loss(self, windows, split, small_model):
+        trainer = Trainer(small_model, _loss,
+                          TrainConfig(epochs=6, batch_size=8,
+                                      max_train_batches=10, patience=10,
+                                      seed=1))
+        result = trainer.fit(windows, split, horizon=2)
+        assert len(result.val_losses) >= 2
+        assert result.best_val_loss <= result.val_losses[0] + 1e-9
+
+    def test_early_stopping(self, windows, split, rng):
+        model = BasicFramework(12, 12, 7, rng, rank=2, encoder_dim=4,
+                               hidden_dim=6)
+        trainer = Trainer(model, _loss,
+                          TrainConfig(epochs=50, batch_size=8,
+                                      max_train_batches=2, patience=2,
+                                      learning_rate=0.0))  # lr 0: no change
+        result = trainer.fit(windows, split, horizon=2)
+        # With lr=0 validation never improves after epoch 1: stop early.
+        assert len(result.val_losses) <= 4
+
+    def test_best_weights_restored(self, windows, split, small_model):
+        trainer = Trainer(small_model, _loss,
+                          TrainConfig(epochs=4, batch_size=8,
+                                      max_train_batches=6, seed=2))
+        result = trainer.fit(windows, split, horizon=2)
+        final_val = trainer.evaluate(windows, split.val, horizon=2)
+        assert final_val == pytest.approx(result.best_val_loss, rel=0.15)
+
+    def test_lr_schedule_applied(self, windows, split, small_model):
+        trainer = Trainer(small_model, _loss,
+                          TrainConfig(epochs=6, batch_size=8,
+                                      max_train_batches=2, patience=10,
+                                      decay_factor=0.5, decay_every=2))
+        trainer.fit(windows, split, horizon=2)
+        assert trainer.optimizer.lr < 1e-3
+
+    def test_predict_shapes_and_validity(self, windows, split, small_model):
+        trainer = Trainer(small_model, _loss,
+                          TrainConfig(epochs=1, batch_size=8,
+                                      max_train_batches=2))
+        trainer.fit(windows, split, horizon=2)
+        pred = trainer.predict(windows, split.test[:10], horizon=2)
+        assert pred.shape == (10, 2, 12, 12, 7)
+        assert np.allclose(pred.sum(-1), 1.0)
+
+    def test_works_with_fc_baseline_contract(self, windows, split, rng):
+        model = FCBaseline(12, 12, 7, rng, encoder_dim=6, hidden_dim=8)
+        trainer = Trainer(model, plain_loss,
+                          TrainConfig(epochs=2, batch_size=8,
+                                      max_train_batches=4))
+        result = trainer.fit(windows, split, horizon=2)
+        assert np.isfinite(result.best_val_loss)
+
+    def test_practical_bf_constructor(self, windows, split):
+        model = practical_bf(12, 12, 7, seed=0)
+        assert model.num_parameters() > 0

@@ -1,0 +1,45 @@
+"""Tests for the operational forecast facade."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import NaiveHistogram
+from repro.experiments import MethodBudget, make_bf, prepare
+from repro.forecast import forecast_latest
+
+
+class TestForecastLatest:
+    def test_shape_and_validity_with_nh(self, dataset, windows, split):
+        nh = NaiveHistogram()
+        nh.fit(windows, split, horizon=2)
+        out = forecast_latest(nh, windows.sequence, s=3, horizon=2)
+        n = windows.sequence.n_origins
+        assert out.shape == (2, n, n, 7)
+        assert np.allclose(out.sum(-1), 1.0)
+
+    def test_with_trained_bf(self, dataset):
+        data = prepare(dataset, s=3, h=2)
+        bf = make_bf(data, MethodBudget(epochs=1, batch_size=8,
+                                        max_train_batches=3))
+        bf.fit(data.windows, data.split, horizon=2)
+        out = forecast_latest(bf, data.sequence, s=3, horizon=2)
+        assert out.shape[0] == 2
+        assert np.allclose(out.sum(-1), 1.0, atol=1e-5)
+
+    def test_uses_the_tail_of_the_sequence(self, dataset):
+        """Feeding a truncated sequence must change the forecast (the
+        facade reads the last s intervals, not a fixed window)."""
+        data = prepare(dataset, s=3, h=1)
+        bf = make_bf(data, MethodBudget(epochs=1, batch_size=8,
+                                        max_train_batches=3))
+        bf.fit(data.windows, data.split, horizon=1)
+        bf.model.eval()
+        full = forecast_latest(bf, data.sequence, s=3, horizon=1)
+        earlier = forecast_latest(bf, data.sequence.slice(0, 100), s=3,
+                                  horizon=1)
+        assert not np.allclose(full, earlier)
+
+    def test_too_short_sequence_rejected(self, sequence):
+        nh = NaiveHistogram()
+        with pytest.raises(ValueError):
+            forecast_latest(nh, sequence.slice(0, 2), s=3, horizon=1)

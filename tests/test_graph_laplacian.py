@@ -1,0 +1,103 @@
+"""Tests for Laplacians and the Chebyshev basis."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (build_proximity, chebyshev_basis, laplacian,
+                         max_eigenvalue, normalized_laplacian,
+                         scaled_laplacian)
+
+
+@pytest.fixture
+def weights(rng):
+    pts = rng.uniform(0, 4, size=(10, 2))
+    return build_proximity(pts)
+
+
+class TestLaplacian:
+    def test_rows_sum_to_zero(self, weights):
+        lap = laplacian(weights)
+        assert np.allclose(lap.sum(axis=1), 0.0)
+
+    def test_positive_semidefinite(self, weights):
+        eigenvalues = np.linalg.eigvalsh(laplacian(weights))
+        assert eigenvalues.min() > -1e-10
+
+    def test_constant_vector_in_nullspace(self, weights):
+        lap = laplacian(weights)
+        assert np.allclose(lap @ np.ones(len(lap)), 0.0)
+
+    def test_quadratic_form_is_edge_sum(self, weights, rng):
+        x = rng.normal(size=len(weights))
+        lap = laplacian(weights)
+        direct = 0.5 * sum(
+            weights[i, j] * (x[i] - x[j]) ** 2
+            for i in range(len(x)) for j in range(len(x)))
+        assert x @ lap @ x == pytest.approx(direct)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            laplacian(np.array([[0.0, 1.0], [0.5, 0.0]]))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            laplacian(np.zeros((2, 3)))
+
+
+class TestNormalizedLaplacian:
+    def test_spectrum_bounded_by_two(self, weights):
+        eigenvalues = np.linalg.eigvalsh(normalized_laplacian(weights))
+        assert eigenvalues.max() <= 2.0 + 1e-9
+        assert eigenvalues.min() >= -1e-9
+
+    def test_isolated_node_identity_row(self):
+        w = np.zeros((3, 3))
+        w[0, 1] = w[1, 0] = 1.0
+        lap = normalized_laplacian(w)
+        assert lap[2, 2] == pytest.approx(1.0)
+        assert np.allclose(lap[2, :2], 0.0)
+
+
+class TestScaledLaplacian:
+    def test_spectrum_in_unit_interval(self, weights):
+        scaled = scaled_laplacian(weights)
+        eigenvalues = np.linalg.eigvalsh(scaled)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+        assert eigenvalues.min() >= -1.0 - 1e-9
+
+    def test_max_eigenvalue_matches(self, weights):
+        lam = max_eigenvalue(laplacian(weights))
+        scaled = scaled_laplacian(weights, lambda_max=lam)
+        assert np.linalg.eigvalsh(scaled).max() == pytest.approx(1.0)
+
+    def test_edgeless_graph_degenerates_gracefully(self):
+        scaled = scaled_laplacian(np.zeros((4, 4)))
+        assert np.allclose(scaled, -np.eye(4))
+
+
+class TestChebyshevBasis:
+    def test_shapes_and_first_terms(self, weights, rng):
+        scaled = scaled_laplacian(weights)
+        x = rng.normal(size=(len(weights), 3))
+        basis = chebyshev_basis(scaled, x, order=4)
+        assert basis.shape == (4, len(weights), 3)
+        assert np.allclose(basis[0], x)
+        assert np.allclose(basis[1], scaled @ x)
+
+    def test_recursion(self, weights, rng):
+        scaled = scaled_laplacian(weights)
+        x = rng.normal(size=len(weights))
+        basis = chebyshev_basis(scaled, x, order=5)
+        for s in range(2, 5):
+            expected = 2 * scaled @ basis[s - 1] - basis[s - 2]
+            assert np.allclose(basis[s], expected)
+
+    def test_order_one(self, weights, rng):
+        x = rng.normal(size=len(weights))
+        basis = chebyshev_basis(scaled_laplacian(weights), x, order=1)
+        assert basis.shape == (1, len(weights))
+
+    def test_invalid_order(self, weights):
+        with pytest.raises(ValueError):
+            chebyshev_basis(scaled_laplacian(weights),
+                            np.zeros(len(weights)), order=0)

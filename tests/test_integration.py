@@ -1,0 +1,100 @@
+"""Integration tests: full pipeline, trips → tensors → train → evaluate."""
+
+import numpy as np
+import pytest
+
+from repro import prepare, run_comparison
+from repro.experiments import MethodBudget, make_af, make_bf, make_fc, make_nh
+from repro.histograms import build_od_tensors
+from repro.metrics import evaluate_forecasts
+from repro.trips import GpsSimulator, extract_trips, toy_dataset
+
+BUDGET = MethodBudget(epochs=3, batch_size=8, max_train_batches=8,
+                      max_val_batches=2, patience=3)
+
+
+class TestEndToEnd:
+    def test_trips_to_forecast_pipeline(self, dataset):
+        """The full path: raw trips → tensors → windows → BF forecast."""
+        data = prepare(dataset, s=3, h=2)
+        forecaster = make_bf(data, BUDGET)
+        forecaster.fit(data.windows, data.split, horizon=2)
+        test = data.split.test[:8]
+        pred = forecaster.predict(data.windows, test, horizon=2)
+        _, truth, masks = data.windows.gather(test)
+        result = evaluate_forecasts(truth, pred, masks)
+        assert np.isfinite(result.overall("emd"))
+        assert np.allclose(pred.sum(-1), 1.0)
+
+    def test_af_beats_untrained_af(self, dataset):
+        """Training must actually improve AF over its initialization."""
+        data = prepare(dataset, s=3, h=1)
+        test = data.split.test[:10]
+        _, truth, masks = data.windows.gather(test)
+
+        fresh = make_af(data, MethodBudget(epochs=0, batch_size=8))
+        # epochs=0: fit() restores the initial weights without training
+        fresh.fit(data.windows, data.split, horizon=1)
+        fresh_score = evaluate_forecasts(
+            truth, fresh.predict(data.windows, test, 1), masks)
+
+        trained = make_af(data, MethodBudget(epochs=4, batch_size=8,
+                                             max_train_batches=10))
+        trained.fit(data.windows, data.split, horizon=1)
+        trained_score = evaluate_forecasts(
+            truth, trained.predict(data.windows, test, 1), masks)
+
+        assert trained_score.overall("emd") < fresh_score.overall("emd")
+
+    def test_deep_methods_beat_uniform_guess(self, dataset):
+        """Any trained model must beat the uniform-histogram strawman."""
+        data = prepare(dataset, s=3, h=1)
+        test = data.split.test[:12]
+        _, truth, masks = data.windows.gather(test)
+        k = truth.shape[-1]
+        uniform = np.full_like(truth, 1.0 / k)
+        uniform_score = evaluate_forecasts(truth, uniform, masks)
+
+        forecaster = make_bf(data, BUDGET)
+        forecaster.fit(data.windows, data.split, horizon=1)
+        pred = forecaster.predict(data.windows, test, 1)
+        score = evaluate_forecasts(truth, pred, masks)
+        assert score.overall("emd") < uniform_score.overall("emd")
+
+    def test_gps_ingestion_path(self, dataset):
+        """Chengdu-style ingestion: trips → GPS records → extracted trips
+        → tensors, and the extracted tensors resemble the direct ones."""
+        subset = dataset.trips[np.arange(0, len(dataset.trips), 10)]
+        records = GpsSimulator(n_taxis=100, seed=0).simulate(subset)
+        recovered = extract_trips(records)
+        assert len(recovered) > 0.7 * len(subset)
+        seq = build_od_tensors(recovered, dataset.city,
+                               n_intervals=dataset.field.n_intervals)
+        direct = build_od_tensors(subset, dataset.city,
+                                  n_intervals=dataset.field.n_intervals)
+        # Coverage from the GPS path should be close to the direct path.
+        assert seq.mask.sum() > 0.6 * direct.mask.sum()
+
+    def test_comparison_smoke_all_families(self, dataset):
+        data = prepare(dataset, s=3, h=2)
+        roster = {"nh": make_nh,
+                  "fc": lambda d: make_fc(d, BUDGET),
+                  "bf": lambda d: make_bf(d, BUDGET)}
+        result = run_comparison(data, roster, max_test_windows=8)
+        assert set(result.methods) == set(roster)
+        for method in result.methods.values():
+            for metric in ("kl", "js", "emd"):
+                values = method.evaluation.per_step[metric]
+                assert np.isfinite(values).all()
+
+    def test_reproducibility_same_seed(self, dataset):
+        """Same budget seed → identical predictions."""
+        data = prepare(dataset, s=3, h=1)
+        test = data.split.test[:4]
+        preds = []
+        for _ in range(2):
+            f = make_bf(data, MethodBudget(epochs=1, batch_size=8,
+                                           max_train_batches=3, seed=7))
+            f.fit(data.windows, data.split, horizon=1)
+            preds.append(f.predict(data.windows, test, 1))
+        assert np.allclose(preds[0], preds[1])

@@ -1,0 +1,72 @@
+"""Tests for the paired bootstrap comparison."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.bootstrap import BootstrapResult, paired_bootstrap
+
+
+def _setup(rng, n=400, k=5, noise_b=0.15):
+    truth = rng.dirichlet(np.ones(k), size=(n, 1))
+    mask = np.ones((n, 1), dtype=bool)
+    # A = near-perfect; B = perturbed copy (worse).
+    a = truth * 0.9 + 0.1 / k
+    b_raw = truth + rng.uniform(0, noise_b, size=truth.shape)
+    b = b_raw / b_raw.sum(-1, keepdims=True)
+    return truth, a, b, mask
+
+
+class TestPairedBootstrap:
+    def test_clearly_better_method_detected(self, rng):
+        truth, a, b, mask = _setup(rng)
+        result = paired_bootstrap(truth, a, b, mask, n_resamples=500)
+        assert result.mean_difference < 0
+        assert result.p_better > 0.95
+        assert result.significant
+        assert result.ci_low < result.ci_high
+
+    def test_identical_predictions_not_significant(self, rng):
+        truth, a, _, mask = _setup(rng)
+        result = paired_bootstrap(truth, a, a.copy(), mask,
+                                  n_resamples=300)
+        assert result.mean_difference == pytest.approx(0.0)
+        assert not result.significant
+
+    def test_symmetry(self, rng):
+        truth, a, b, mask = _setup(rng)
+        ab = paired_bootstrap(truth, a, b, mask, n_resamples=300, seed=1)
+        ba = paired_bootstrap(truth, b, a, mask, n_resamples=300, seed=1)
+        assert ab.mean_difference == pytest.approx(-ba.mean_difference)
+
+    def test_respects_mask(self, rng):
+        truth, a, b, mask = _setup(rng)
+        mask2 = mask.copy()
+        mask2[200:] = False
+        result = paired_bootstrap(truth, a, b, mask2, n_resamples=100)
+        assert result.n_cells == 200
+
+    def test_deterministic_given_seed(self, rng):
+        truth, a, b, mask = _setup(rng)
+        r1 = paired_bootstrap(truth, a, b, mask, n_resamples=200, seed=7)
+        r2 = paired_bootstrap(truth, a, b, mask, n_resamples=200, seed=7)
+        assert r1.ci_low == r2.ci_low and r1.p_better == r2.p_better
+
+    def test_metric_argument(self, rng):
+        truth, a, b, mask = _setup(rng)
+        emd = paired_bootstrap(truth, a, b, mask, metric="emd",
+                               n_resamples=100)
+        kl = paired_bootstrap(truth, a, b, mask, metric="kl",
+                              n_resamples=100)
+        assert emd.mean_difference != kl.mean_difference
+
+    def test_shape_validation(self, rng):
+        truth, a, b, mask = _setup(rng)
+        with pytest.raises(ValueError):
+            paired_bootstrap(truth, a[:10], b, mask)
+        with pytest.raises(ValueError):
+            paired_bootstrap(truth, a, b, mask[:, 0])
+
+    def test_empty_mask_rejected(self, rng):
+        truth, a, b, mask = _setup(rng)
+        with pytest.raises(ValueError):
+            paired_bootstrap(truth, a, b, np.zeros_like(mask))

@@ -1,0 +1,113 @@
+"""Tests for probabilistic scoring: RPS, calibration, sharpness."""
+
+import numpy as np
+import pytest
+
+from repro.histograms import HistogramSpec
+from repro.metrics.calibration import (expected_calibration_error,
+                                       histogram_entropy,
+                                       ranked_probability_score, sharpness,
+                                       trip_outcomes)
+
+
+class TestEntropy:
+    def test_one_hot_zero_entropy(self):
+        assert histogram_entropy(np.array([0.0, 1.0, 0.0])) \
+            == pytest.approx(0.0)
+
+    def test_uniform_max_entropy(self):
+        k = 5
+        uniform = np.full(k, 1.0 / k)
+        assert histogram_entropy(uniform) == pytest.approx(np.log(k))
+
+    def test_sharpness_orders_forecasts(self, rng):
+        sharp = np.zeros((10, 4))
+        sharp[:, 1] = 1.0
+        blunt = np.full((10, 4), 0.25)
+        assert sharpness(sharp) < sharpness(blunt)
+
+
+class TestRPS:
+    def test_perfect_forecast_zero(self):
+        prediction = np.array([0.0, 1.0, 0.0, 0.0])
+        assert ranked_probability_score(prediction, np.array(1)) \
+            == pytest.approx(0.0)
+
+    def test_near_miss_cheaper_than_far_miss(self):
+        prediction = np.array([0.0, 1.0, 0.0, 0.0])
+        near = ranked_probability_score(prediction, np.array(2))
+        far = ranked_probability_score(prediction, np.array(3))
+        assert near < far
+
+    def test_propriety(self, rng):
+        """The true distribution minimizes expected RPS (proper score)."""
+        truth = np.array([0.1, 0.5, 0.3, 0.1])
+        outcomes = rng.choice(4, size=30_000, p=truth)
+        honest = ranked_probability_score(
+            np.broadcast_to(truth, (len(outcomes), 4)), outcomes).mean()
+        for _ in range(5):
+            other = rng.dirichlet(np.ones(4))
+            dishonest = ranked_probability_score(
+                np.broadcast_to(other, (len(outcomes), 4)),
+                outcomes).mean()
+            assert honest <= dishonest + 1e-3
+
+    def test_invalid_outcome_rejected(self):
+        with pytest.raises(ValueError):
+            ranked_probability_score(np.array([0.5, 0.5]), np.array(2))
+
+    def test_vectorized_shapes(self, rng):
+        predictions = rng.dirichlet(np.ones(5), size=(3, 4))
+        outcomes = rng.integers(0, 5, size=(3, 4))
+        assert ranked_probability_score(predictions, outcomes).shape \
+            == (3, 4)
+
+
+class TestECE:
+    def test_perfectly_calibrated_low_ece(self, rng):
+        truth = np.array([0.2, 0.5, 0.3])
+        outcomes = rng.choice(3, size=60_000, p=truth)
+        predictions = np.broadcast_to(truth, (len(outcomes), 3))
+        ece, conf, freq = expected_calibration_error(predictions, outcomes)
+        assert ece < 0.02
+
+    def test_overconfident_high_ece(self, rng):
+        truth = np.array([0.5, 0.5])
+        outcomes = rng.choice(2, size=20_000, p=truth)
+        overconfident = np.tile([0.95, 0.05], (len(outcomes), 1))
+        ece, _, _ = expected_calibration_error(overconfident, outcomes)
+        assert ece > 0.2
+
+    def test_curves_shape(self, rng):
+        predictions = rng.dirichlet(np.ones(4), size=100)
+        outcomes = rng.integers(0, 4, size=100)
+        ece, conf, freq = expected_calibration_error(predictions,
+                                                     outcomes, n_bins=5)
+        assert conf.shape == (5,) and freq.shape == (5,)
+        assert 0 <= ece <= 1
+
+
+class TestTripOutcomes:
+    def test_alignment_with_tensor_builder(self, dataset, sequence):
+        interval, origin, dest, bucket = trip_outcomes(
+            dataset.trips, dataset.city, sequence.spec)
+        assert len(interval) == len(dataset.trips)
+        # Every in-range trip's cell must be observed in the sequence.
+        ok = interval < sequence.n_intervals
+        assert sequence.mask[interval[ok], origin[ok], dest[ok]].all()
+        assert (bucket >= 0).all()
+        assert (bucket < sequence.spec.n_buckets).all()
+
+    def test_scoring_truth_beats_uniform(self, dataset, sequence):
+        """Scoring the empirical tensors by RPS: the per-cell empirical
+        histogram must beat the uniform forecast on its own trips."""
+        interval, origin, dest, bucket = trip_outcomes(
+            dataset.trips, dataset.city, sequence.spec)
+        ok = interval < sequence.n_intervals
+        predictions = sequence.tensors[interval[ok], origin[ok], dest[ok]]
+        empirical = ranked_probability_score(predictions,
+                                             bucket[ok]).mean()
+        k = sequence.spec.n_buckets
+        uniform = ranked_probability_score(
+            np.full_like(predictions, 1.0 / k), bucket[ok]).mean()
+        assert empirical < uniform

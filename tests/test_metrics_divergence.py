@@ -1,0 +1,111 @@
+"""Tests for KL, JS, and EMD."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import emd, emd_flow, js_divergence, kl_divergence
+
+
+def _random_histograms(rng, shape=(20,), k=7):
+    raw = rng.uniform(0.01, 1.0, size=shape + (k,))
+    return raw / raw.sum(axis=-1, keepdims=True)
+
+
+class TestKL:
+    def test_zero_for_identical(self, rng):
+        m = _random_histograms(rng)
+        assert np.allclose(kl_divergence(m, m), 0.0)
+
+    def test_positive_for_different(self):
+        m = np.array([0.9, 0.1])
+        m_hat = np.array([0.1, 0.9])
+        assert kl_divergence(m, m_hat) > 0
+
+    def test_delta_smoothing_handles_zeros(self):
+        m = np.array([1.0, 0.0])
+        m_hat = np.array([0.0, 1.0])
+        value = kl_divergence(m, m_hat)
+        assert np.isfinite(value)
+
+    def test_matches_manual_formula(self):
+        m = np.array([0.5, 0.3, 0.2])
+        m_hat = np.array([0.2, 0.5, 0.3])
+        delta = 0.001
+        manual = (m_hat * np.log((m_hat + delta) / (m + delta))).sum()
+        assert kl_divergence(m, m_hat) == pytest.approx(manual)
+
+    def test_vectorized(self, rng):
+        m = _random_histograms(rng, shape=(4, 5))
+        m_hat = _random_histograms(rng, shape=(4, 5))
+        assert kl_divergence(m, m_hat).shape == (4, 5)
+
+
+class TestJS:
+    def test_zero_for_identical(self, rng):
+        m = _random_histograms(rng)
+        assert np.allclose(js_divergence(m, m), 0.0, atol=1e-12)
+
+    def test_symmetry(self, rng):
+        m = _random_histograms(rng)
+        m_hat = _random_histograms(rng)
+        assert np.allclose(js_divergence(m, m_hat),
+                           js_divergence(m_hat, m))
+
+    def test_bounded_by_log2(self, rng):
+        m = _random_histograms(rng, shape=(50,))
+        m_hat = _random_histograms(rng, shape=(50,))
+        assert (js_divergence(m, m_hat) <= np.log(2) + 0.01).all()
+
+    def test_opposite_onehots_near_log2(self):
+        m = np.array([1.0, 0.0])
+        m_hat = np.array([0.0, 1.0])
+        assert js_divergence(m, m_hat) == pytest.approx(np.log(2), rel=0.02)
+
+
+class TestEMD:
+    def test_zero_for_identical(self, rng):
+        m = _random_histograms(rng)
+        assert np.allclose(emd(m, m), 0.0)
+
+    def test_adjacent_shift_costs_one(self):
+        m = np.array([1.0, 0.0, 0.0])
+        m_hat = np.array([0.0, 1.0, 0.0])
+        assert emd(m, m_hat) == pytest.approx(1.0)
+
+    def test_two_bucket_shift_costs_two(self):
+        m = np.array([1.0, 0.0, 0.0])
+        m_hat = np.array([0.0, 0.0, 1.0])
+        assert emd(m, m_hat) == pytest.approx(2.0)
+
+    def test_symmetry(self, rng):
+        m = _random_histograms(rng)
+        m_hat = _random_histograms(rng)
+        assert np.allclose(emd(m, m_hat), emd(m_hat, m))
+
+    def test_triangle_inequality(self, rng):
+        a = _random_histograms(rng, shape=(30,))
+        b = _random_histograms(rng, shape=(30,))
+        c = _random_histograms(rng, shape=(30,))
+        assert (emd(a, c) <= emd(a, b) + emd(b, c) + 1e-9).all()
+
+    def test_matches_flow_cost(self, rng):
+        for _ in range(10):
+            m = _random_histograms(rng, shape=())
+            m_hat = _random_histograms(rng, shape=())
+            flow = emd_flow(m, m_hat)
+            k = len(m)
+            ground = np.abs(np.arange(k)[:, None] - np.arange(k)[None, :])
+            assert (flow * ground).sum() == pytest.approx(
+                float(emd(m, m_hat)), abs=1e-9)
+
+    def test_flow_marginals(self, rng):
+        m = _random_histograms(rng, shape=())
+        m_hat = _random_histograms(rng, shape=())
+        flow = emd_flow(m, m_hat)
+        assert np.allclose(flow.sum(axis=1), m, atol=1e-9)
+        assert np.allclose(flow.sum(axis=0), m_hat, atol=1e-9)
+
+    def test_flow_rejects_batch(self, rng):
+        m = _random_histograms(rng, shape=(3,))
+        with pytest.raises(ValueError):
+            emd_flow(m, m)

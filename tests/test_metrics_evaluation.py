@@ -1,0 +1,133 @@
+"""Tests for masked evaluation and the figure groupings."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (distance_groups, evaluate_forecasts,
+                           grouped_metric, time_of_day_groups)
+
+
+def _toy_eval(rng, b=4, h=2, n=5, k=3):
+    truth = rng.uniform(0.1, 1.0, size=(b, h, n, n, k))
+    truth /= truth.sum(axis=-1, keepdims=True)
+    pred = rng.uniform(0.1, 1.0, size=(b, h, n, n, k))
+    pred /= pred.sum(axis=-1, keepdims=True)
+    mask = rng.random(size=(b, h, n, n)) < 0.5
+    return truth, pred, mask
+
+
+class TestEvaluateForecasts:
+    def test_perfect_prediction_zero_error(self, rng):
+        truth, _, mask = _toy_eval(rng)
+        result = evaluate_forecasts(truth, truth, mask)
+        for metric in ("kl", "js", "emd"):
+            assert np.allclose(result.per_step[metric], 0.0)
+
+    def test_per_step_shapes_and_counts(self, rng):
+        truth, pred, mask = _toy_eval(rng, h=3)
+        result = evaluate_forecasts(truth, pred, mask)
+        assert result.per_step["emd"].shape == (3,)
+        assert result.n_cells.sum() == mask.sum()
+
+    def test_only_masked_cells_counted(self, rng):
+        truth, pred, mask = _toy_eval(rng)
+        # Corrupt predictions on unobserved cells: score must not change.
+        corrupted = pred.copy()
+        corrupted[~mask] = 1.0 / truth.shape[-1]
+        a = evaluate_forecasts(truth, pred, mask)
+        b = evaluate_forecasts(truth, corrupted, mask)
+        assert np.allclose(a.per_step["emd"], b.per_step["emd"])
+
+    def test_empty_step_is_zero(self, rng):
+        truth, pred, mask = _toy_eval(rng)
+        mask[:, 1] = False
+        result = evaluate_forecasts(truth, pred, mask)
+        assert result.per_step["kl"][1] == 0.0
+        assert result.n_cells[1] == 0
+
+    def test_overall_weighted_mean(self, rng):
+        truth, pred, mask = _toy_eval(rng)
+        result = evaluate_forecasts(truth, pred, mask)
+        values = result.per_step["emd"]
+        weights = result.n_cells
+        expected = (values * weights).sum() / weights.sum()
+        assert result.overall("emd") == pytest.approx(expected)
+
+    def test_shape_mismatch_raises(self, rng):
+        truth, pred, mask = _toy_eval(rng)
+        with pytest.raises(ValueError):
+            evaluate_forecasts(truth, pred[:, :1], mask)
+        with pytest.raises(ValueError):
+            evaluate_forecasts(truth, pred, mask[..., :-1])
+
+
+class TestGroupedMetric:
+    def test_sample_groups(self, rng):
+        truth, pred, mask = _toy_eval(rng, b=6, h=2)
+        groups = rng.integers(0, 3, size=(6, 2))
+        out = grouped_metric(truth, pred, mask, groups, 3)
+        assert out["value"].shape == (3,)
+        assert out["share"].sum() == pytest.approx(1.0)
+
+    def test_cell_groups(self, rng):
+        truth, pred, mask = _toy_eval(rng, n=5)
+        groups = rng.integers(0, 2, size=(5, 5))
+        out = grouped_metric(truth, pred, mask, groups, 2,
+                             cell_groups=True)
+        assert out["value"].shape == (2,)
+
+    def test_negative_group_excluded(self, rng):
+        truth, pred, mask = _toy_eval(rng, n=5)
+        groups = np.zeros((5, 5), dtype=int)
+        groups[0, :] = -1
+        out = grouped_metric(truth, pred, mask, groups, 1,
+                             cell_groups=True)
+        expected_count = mask[:, :, 1:, :].sum()
+        assert out["share"][0] == pytest.approx(1.0)
+        # group 0 counted only non-excluded cells
+        total = mask.sum()
+        assert total >= expected_count
+
+    def test_empty_group_nan(self, rng):
+        truth, pred, mask = _toy_eval(rng)
+        groups = np.zeros(mask.shape[:2], dtype=int)   # only group 0 used
+        out = grouped_metric(truth, pred, mask, groups, 2)
+        assert np.isnan(out["value"][1])
+        assert out["share"][1] == 0.0
+
+    def test_group_mean_consistency(self, rng):
+        """Single group mean == evaluate_forecasts overall mean."""
+        truth, pred, mask = _toy_eval(rng)
+        groups = np.zeros(mask.shape[:2], dtype=int)
+        out = grouped_metric(truth, pred, mask, groups, 1, metric="emd")
+        reference = evaluate_forecasts(truth, pred, mask)
+        assert out["value"][0] == pytest.approx(reference.overall("emd"))
+
+
+class TestGroupings:
+    def test_time_of_day_blocks(self):
+        intervals = np.array([0, 12, 40, 95, 96])   # 96 intervals/day
+        blocks = time_of_day_groups(intervals, 96, hours_per_block=3)
+        assert list(blocks) == [0, 1, 3, 7, 0]
+
+    def test_time_of_day_custom_block(self):
+        blocks = time_of_day_groups(np.array([50]), 96, hours_per_block=6)
+        assert blocks[0] == 2   # 12:30 -> block [12, 18)
+
+    def test_distance_groups_default_bands(self):
+        d = np.array([[0.2, 0.7], [1.6, 3.5]])
+        groups = distance_groups(d)
+        assert groups[0, 0] == 0    # [0, 0.5)
+        assert groups[0, 1] == 1    # [0.5, 1)
+        assert groups[1, 0] == 3    # [1.5, 2)
+        assert groups[1, 1] == -1   # beyond 3 km: excluded
+
+    def test_distance_custom_edges(self):
+        groups = distance_groups(np.array([0.5, 1.5]),
+                                 edges_km=[0.0, 1.0, 2.0])
+        assert list(groups) == [0, 1]
+
+    def test_boundary_exactly_at_last_edge(self):
+        groups = distance_groups(np.array([3.0]))
+        # 3.0 falls on the closing edge: excluded from the last band
+        assert groups[0] in (-1, 5)

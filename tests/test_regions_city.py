@@ -1,0 +1,95 @@
+"""Tests for city models."""
+
+import numpy as np
+import pytest
+
+from repro.graph import ProximityConfig
+from repro.regions import chengdu_like, manhattan_like, toy_city
+
+
+class TestCityModels:
+    def test_manhattan_like_shape(self):
+        nyc = manhattan_like()
+        assert nyc.n_regions == 67
+        assert nyc.name == "nyc"
+        # Elongated strip: much taller than wide.
+        assert nyc.box.height / nyc.box.width > 3
+
+    def test_chengdu_like_shape(self):
+        cd = chengdu_like()
+        assert cd.n_regions == 79
+        assert cd.name == "cd"
+        # Roughly isotropic.
+        assert 0.5 < cd.box.height / cd.box.width < 2
+
+    def test_chengdu_more_heterogeneous(self):
+        assert chengdu_like().heterogeneity > manhattan_like().heterogeneity
+
+    def test_deterministic_given_seed(self):
+        a, b = manhattan_like(seed=5), manhattan_like(seed=5)
+        assert np.allclose(a.centroids, b.centroids)
+        c = manhattan_like(seed=6)
+        assert not np.allclose(a.centroids, c.centroids)
+
+    def test_centroids_inside_box(self):
+        city = toy_city()
+        assert city.box.contains(city.centroids).all()
+
+    def test_proximity_properties(self):
+        city = toy_city(n_regions=15)
+        w = city.proximity()
+        assert w.shape == (15, 15)
+        assert np.allclose(w, w.T)
+        assert (w.sum(axis=1) > 0).all()   # connected
+
+    def test_proximity_custom_config(self):
+        city = toy_city()
+        tight = city.proximity(ProximityConfig(sigma=0.1, alpha=0.5))
+        loose = city.proximity(ProximityConfig(sigma=5.0, alpha=10.0))
+        assert (tight > 0).sum() <= (loose > 0).sum()
+
+    def test_default_config_scales_with_city(self):
+        small = toy_city(n_regions=12, extent_km=2.0)
+        large = toy_city(n_regions=12, extent_km=20.0)
+        assert (large.default_proximity_config().alpha
+                > small.default_proximity_config().alpha)
+
+    def test_centroid_distances(self):
+        city = toy_city()
+        d = city.centroid_distances()
+        assert d.shape == (city.n_regions, city.n_regions)
+        assert (d[~np.eye(city.n_regions, dtype=bool)] > 0).all()
+
+
+class TestGridCity:
+    def test_structure(self):
+        from repro.regions import grid_city
+        city = grid_city(rows=3, cols=4, cell_km=0.5)
+        assert city.n_regions == 12
+        assert city.box.width == pytest.approx(2.0)
+        assert city.box.height == pytest.approx(1.5)
+
+    def test_matrix_vs_geographic_adjacency(self):
+        """The paper's Fig. 1(a) point: region 0 and region `cols` are
+        geographic neighbours but far apart in id space."""
+        from repro.regions import grid_city
+        city = grid_city(rows=3, cols=3, cell_km=1.0)
+        d = city.centroid_distances()
+        assert d[0, 3] == pytest.approx(1.0)   # vertically adjacent
+        assert d[0, 1] == pytest.approx(1.0)   # horizontally adjacent
+        assert d[0, 8] > 2.0                   # opposite corner
+
+    def test_works_in_pipeline(self):
+        from repro.histograms import build_od_tensors
+        from repro.regions import grid_city
+        from repro.trips import (DemandConfig, LatentTrafficField,
+                                 TripGenerator)
+        city = grid_city(rows=3, cols=3)
+        field = LatentTrafficField(city, n_days=1, seed=1)
+        gen = TripGenerator(field,
+                            DemandConfig(trips_per_interval=60.0), seed=2)
+        seq = build_od_tensors(gen.generate(), city,
+                               n_intervals=field.n_intervals)
+        assert seq.tensors.shape == (96, 9, 9, 7)
+        w = city.proximity()
+        assert w[0, 3] > 0 and w[0, 1] > 0

@@ -1,0 +1,94 @@
+"""Tests for grid and seeded partitions."""
+
+import numpy as np
+import pytest
+
+from repro.regions import BoundingBox, GridPartition, SeededPartition
+
+
+class TestGridPartition:
+    def test_region_count_and_centroids(self):
+        grid = GridPartition(BoundingBox(0, 0, 4, 2), rows=2, cols=4)
+        assert grid.n_regions == 8
+        assert grid.centroids.shape == (8, 2)
+        # first centroid: middle of the bottom-left cell
+        assert np.allclose(grid.centroids[0], [0.5, 0.5])
+
+    def test_assign_centers(self):
+        grid = GridPartition(BoundingBox(0, 0, 4, 2), rows=2, cols=4)
+        owners = grid.assign(grid.centroids)
+        assert np.array_equal(owners, np.arange(8))
+
+    def test_assign_clips_outside_points(self):
+        grid = GridPartition(BoundingBox(0, 0, 2, 2), rows=2, cols=2)
+        assert grid.assign(np.array([-1.0, -1.0])) == 0
+        assert grid.assign(np.array([5.0, 5.0])) == 3
+
+    def test_row_major_ids(self):
+        grid = GridPartition(BoundingBox(0, 0, 3, 3), rows=3, cols=3)
+        # point in row 1 (middle), col 2 (right)
+        assert grid.assign(np.array([2.5, 1.5])) == 1 * 3 + 2
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            GridPartition(BoundingBox(0, 0, 1, 1), rows=0, cols=2)
+
+    def test_cell_area(self):
+        grid = GridPartition(BoundingBox(0, 0, 4, 2), rows=2, cols=4)
+        assert grid.cell_area() == pytest.approx(1.0)
+
+    def test_centroid_distances_symmetric(self):
+        grid = GridPartition(BoundingBox(0, 0, 4, 4), rows=2, cols=2)
+        d = grid.centroid_distances()
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0)
+
+
+class TestSeededPartition:
+    def test_nearest_seed_assignment(self):
+        seeds = np.array([[0.0, 0.0], [10.0, 0.0]])
+        part = SeededPartition(seeds)
+        assert part.assign(np.array([1.0, 0.0])) == 0
+        assert part.assign(np.array([9.0, 0.0])) == 1
+
+    def test_assign_batch_shape(self, rng):
+        part = SeededPartition(rng.uniform(0, 5, size=(7, 2)))
+        pts = rng.uniform(0, 5, size=(4, 6, 2))
+        assert part.assign(pts).shape == (4, 6)
+
+    def test_seeds_assigned_to_themselves(self, rng):
+        seeds = rng.uniform(0, 5, size=(9, 2))
+        part = SeededPartition(seeds)
+        assert np.array_equal(part.assign(seeds), np.arange(9))
+
+    def test_random_covers_box(self, rng):
+        box = BoundingBox(0, 0, 6, 6)
+        part = SeededPartition.random(box, 10, rng)
+        assert part.n_regions == 10
+        assert box.contains(part.centroids).all()
+        # all regions should own at least one of many random points
+        samples = box.sample(rng, 5000)
+        owners = part.assign(samples)
+        assert len(np.unique(owners)) == 10
+
+    def test_lloyd_relaxation_evens_sizes(self, rng):
+        box = BoundingBox(0, 0, 6, 6)
+        raw = SeededPartition(box.sample(np.random.default_rng(0), 12))
+        relaxed = SeededPartition.random(box, 12,
+                                         np.random.default_rng(0),
+                                         lloyd_iterations=5)
+        samples = box.sample(rng, 8000)
+
+        def size_spread(partition):
+            counts = np.bincount(partition.assign(samples), minlength=12)
+            return counts.std() / counts.mean()
+
+        assert size_spread(relaxed) < size_spread(raw)
+
+    def test_too_few_seeds(self):
+        with pytest.raises(ValueError):
+            SeededPartition(np.array([[0.0, 0.0]]))
+
+    def test_bad_seed_shape(self):
+        with pytest.raises(ValueError):
+            SeededPartition(np.zeros((5, 3)))

@@ -1,0 +1,57 @@
+"""Tests for the high-level dataset builders."""
+
+import numpy as np
+import pytest
+
+from repro.trips import (chengdu_like_dataset, nyc_like_dataset,
+                         toy_dataset)
+
+
+class TestBuilders:
+    def test_toy_dataset_structure(self):
+        ds = toy_dataset(n_days=1, n_regions=10, seed=5)
+        assert ds.city.n_regions == 10
+        assert ds.field.n_intervals == 96
+        assert len(ds.trips) > 0
+
+    def test_nyc_like_full_day_demand(self):
+        ds = nyc_like_dataset(n_days=1, trips_per_interval=200.0,
+                              n_regions=20, seed=3)
+        assert ds.city.name == "nyc"
+        hours = (ds.trips.departure_min / 60.0) % 24
+        # NYC has (some) night trips.
+        assert ((hours >= 1) & (hours < 5)).any()
+
+    def test_chengdu_like_night_gap(self):
+        ds = chengdu_like_dataset(n_days=1, trips_per_interval=200.0,
+                                  n_regions=20, seed=4)
+        assert ds.city.name == "cd"
+        hours = (ds.trips.departure_min / 60.0) % 24
+        assert not (hours < 6).any()
+
+    def test_chengdu_via_gps_pipeline(self):
+        direct = chengdu_like_dataset(n_days=1, trips_per_interval=120.0,
+                                      n_regions=15, seed=6, via_gps=False)
+        gps = chengdu_like_dataset(n_days=1, trips_per_interval=120.0,
+                                   n_regions=15, seed=6, via_gps=True)
+        # GPS extraction loses a few short trips but keeps the bulk.
+        assert 0.6 * len(direct.trips) <= len(gps.trips) \
+            <= len(direct.trips)
+        # Speeds remain in the physical range after extraction.
+        assert gps.trips.speed_ms.max() < 40.0
+
+    def test_seed_controls_everything(self):
+        a = toy_dataset(n_days=1, n_regions=8, seed=9)
+        b = toy_dataset(n_days=1, n_regions=8, seed=9)
+        assert len(a.trips) == len(b.trips)
+        assert np.allclose(a.trips.departure_min, b.trips.departure_min)
+        c = toy_dataset(n_days=1, n_regions=8, seed=10)
+        assert len(c.trips) != len(a.trips) or not np.allclose(
+            a.trips.departure_min, c.trips.departure_min)
+
+    def test_scale_parameter(self):
+        light = toy_dataset(n_days=1, n_regions=8,
+                            trips_per_interval=50.0, seed=1)
+        heavy = toy_dataset(n_days=1, n_regions=8,
+                            trips_per_interval=200.0, seed=1)
+        assert len(heavy.trips) > 2 * len(light.trips)

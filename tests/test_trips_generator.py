@@ -1,0 +1,102 @@
+"""Tests for the synthetic trip generator."""
+
+import numpy as np
+import pytest
+
+from repro.regions import toy_city
+from repro.trips import (DemandConfig, LatentTrafficField, TripGenerator,
+                         daily_demand_profile, zipf_popularity)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    city = toy_city(seed=1, n_regions=10)
+    field = LatentTrafficField(city, n_days=1, seed=2)
+    return TripGenerator(field, DemandConfig(trips_per_interval=150.0),
+                         seed=3)
+
+
+class TestZipfPopularity:
+    def test_normalized(self, rng):
+        pop = zipf_popularity(20, 1.0, rng)
+        assert pop.sum() == pytest.approx(1.0)
+        assert (pop > 0).all()
+
+    def test_skew_increases_with_exponent(self, rng):
+        flat = zipf_popularity(50, 0.1, np.random.default_rng(0))
+        skewed = zipf_popularity(50, 2.0, np.random.default_rng(0))
+        assert skewed.max() > flat.max()
+
+
+class TestDemandProfile:
+    def test_peak_normalized(self):
+        profile = daily_demand_profile(96)
+        assert profile.max() == pytest.approx(1.0)
+        assert (profile >= 0).all()
+
+    def test_night_gap(self):
+        profile = daily_demand_profile(96, night_gap=True)
+        hours = (np.arange(96) + 0.5) / 4
+        assert (profile[hours < 6] == 0).all()
+        assert (profile[hours > 7] > 0).all()
+
+    def test_no_gap_by_default(self):
+        profile = daily_demand_profile(96)
+        assert (profile > 0).all()
+
+
+class TestTripGenerator:
+    def test_interval_trips_in_window(self, generator):
+        trips = generator.generate_interval(40)
+        assert len(trips) > 0
+        assert (trips.departure_min >= 40 * 15).all()
+        assert (trips.departure_min < 41 * 15).all()
+
+    def test_expected_counts_track_profile(self, generator):
+        peak = generator.expected_counts(72).sum()     # ~18:00
+        night = generator.expected_counts(12).sum()    # ~03:00
+        assert peak > 3 * night
+
+    def test_volume_calibration(self, generator):
+        assert generator.expected_counts(72).sum() == pytest.approx(
+            150.0 * generator._profile[72], rel=1e-6)
+
+    def test_generate_range(self, generator):
+        trips = generator.generate(first_interval=40, last_interval=44)
+        assert (trips.departure_min >= 40 * 15).all()
+        assert (trips.departure_min < 44 * 15).all()
+
+    def test_popular_pairs_more_covered(self, generator):
+        trips = generator.generate(first_interval=30, last_interval=60)
+        owner_o = generator.city.partition.assign(trips.origin_xy)
+        counts = np.bincount(owner_o, minlength=10)
+        # Zipf demand: the busiest region should dominate the quietest.
+        assert counts.max() > 3 * max(counts.min(), 1)
+
+    def test_durations_match_distance_and_speed(self, generator):
+        trips = generator.generate_interval(40)
+        speeds = trips.speed_ms
+        assert (speeds >= 0.3).all() and (speeds <= 30.0).all()
+
+    def test_distances_at_least_straight_line(self, generator):
+        trips = generator.generate_interval(44)
+        straight = np.sqrt(((trips.origin_xy - trips.dest_xy) ** 2).sum(1))
+        assert (trips.distance_km >= straight - 1e-9).all()
+
+    def test_night_gap_config(self):
+        city = toy_city(seed=1, n_regions=10)
+        field = LatentTrafficField(city, n_days=1, seed=2)
+        gen = TripGenerator(field, DemandConfig(trips_per_interval=200,
+                                                night_gap=True), seed=4)
+        assert len(gen.generate_interval(8)) == 0    # 02:00
+        assert len(gen.generate_interval(40)) > 0    # 10:00
+
+    def test_deterministic_given_seed(self):
+        city = toy_city(seed=1, n_regions=10)
+        field = LatentTrafficField(city, n_days=1, seed=2)
+        a = TripGenerator(field, seed=9).generate_interval(40)
+        b = TripGenerator(
+            LatentTrafficField(city, n_days=1, seed=2),
+            seed=9).generate_interval(40)
+        assert len(a) == len(b)
+        assert np.allclose(a.departure_min, b.departure_min)

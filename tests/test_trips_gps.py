@@ -1,0 +1,121 @@
+"""Tests for GPS simulation and trip extraction (Chengdu pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.trips import GpsRecords, GpsSimulator, TripTable, extract_trips
+
+
+@pytest.fixture
+def trips(rng):
+    n = 40
+    origins = rng.uniform(0, 5, size=(n, 2))
+    dests = rng.uniform(0, 5, size=(n, 2))
+    straight = np.sqrt(((origins - dests) ** 2).sum(1))
+    distance = straight * 1.3 + 0.2
+    speed_ms = rng.uniform(5, 15, size=n)
+    duration = distance * 1000 / speed_ms / 60
+    departures = np.sort(rng.uniform(0, 600, size=n))
+    return TripTable(origins, dests, departures, distance, duration)
+
+
+class TestGpsSimulator:
+    def test_record_columns_consistent(self, trips):
+        records = GpsSimulator(n_taxis=5, seed=0).simulate(trips)
+        assert len(records) > 0
+        assert records.xy.shape == (len(records), 2)
+        assert records.occupied.all()
+
+    def test_taxis_round_robin(self, trips):
+        records = GpsSimulator(n_taxis=5, seed=0).simulate(trips)
+        assert set(np.unique(records.taxi_id)) <= set(range(5))
+
+    def test_timestamps_within_trip_spans(self, trips):
+        records = GpsSimulator(n_taxis=50, seed=0).simulate(trips)
+        assert records.timestamp_min.min() >= trips.departure_min.min() - 1e-9
+        end = (trips.departure_min + trips.duration_min).max()
+        assert records.timestamp_min.max() <= end + 1e-9
+
+    def test_empty_trips(self):
+        records = GpsSimulator().simulate(TripTable.empty())
+        assert len(records) == 0
+
+    def test_invalid_taxi_count(self):
+        with pytest.raises(ValueError):
+            GpsSimulator(n_taxis=0)
+
+
+class TestExtractTrips:
+    def test_round_trip_recovers_most_trips(self, trips):
+        records = GpsSimulator(n_taxis=40, seed=0).simulate(trips)
+        recovered = extract_trips(records)
+        assert len(recovered) >= 0.8 * len(trips)
+
+    def test_round_trip_durations_close(self, trips):
+        records = GpsSimulator(n_taxis=40, seed=0).simulate(trips)
+        recovered = extract_trips(records)
+        # Match recovered trips to originals by departure time.
+        for i in range(len(recovered)):
+            departure = recovered.departure_min[i]
+            j = np.argmin(np.abs(trips.departure_min - departure))
+            assert recovered.duration_min[i] == pytest.approx(
+                trips.duration_min[j], rel=0.1)
+
+    def test_endpoints_preserved(self, trips):
+        records = GpsSimulator(n_taxis=40, seed=0).simulate(trips)
+        recovered = extract_trips(records)
+        for i in range(len(recovered)):
+            departure = recovered.departure_min[i]
+            j = np.argmin(np.abs(trips.departure_min - departure))
+            assert np.allclose(recovered.origin_xy[i], trips.origin_xy[j],
+                               atol=1e-6)
+            assert np.allclose(recovered.dest_xy[i], trips.dest_xy[j],
+                               atol=1e-6)
+
+    def test_distance_includes_wobble(self, trips):
+        """Trace-accumulated distance is at least the straight line."""
+        records = GpsSimulator(n_taxis=40, seed=0).simulate(trips)
+        recovered = extract_trips(records)
+        straight = np.sqrt(
+            ((recovered.origin_xy - recovered.dest_xy) ** 2).sum(1))
+        assert (recovered.distance_km >= straight - 1e-9).all()
+
+    def test_gap_splits_runs(self):
+        """Two back-to-back occupied runs separated by a long gap must
+        become two trips, not one."""
+        xy = np.array([[0.0, 0], [1, 0], [2, 0],
+                       [10, 0], [11, 0], [12, 0]])
+        records = GpsRecords(
+            taxi_id=np.zeros(6, dtype=np.int64),
+            xy=xy,
+            occupied=np.ones(6, dtype=bool),
+            timestamp_min=np.array([0.0, 1, 2, 30, 31, 32]))
+        trips = extract_trips(records, max_gap_min=3.0)
+        assert len(trips) == 2
+
+    def test_vacant_pings_break_runs(self):
+        records = GpsRecords(
+            taxi_id=np.zeros(5, dtype=np.int64),
+            xy=np.array([[0.0, 0], [1, 0], [2, 0], [3, 0], [4, 0]]),
+            occupied=np.array([True, True, False, True, True]),
+            timestamp_min=np.array([0.0, 1, 2, 3, 4]))
+        trips = extract_trips(records)
+        assert len(trips) == 2
+
+    def test_min_pings_filter(self):
+        records = GpsRecords(
+            taxi_id=np.zeros(1, dtype=np.int64),
+            xy=np.array([[0.0, 0.0]]),
+            occupied=np.array([True]),
+            timestamp_min=np.array([0.0]))
+        assert len(extract_trips(records)) == 0
+
+    def test_empty_records(self):
+        empty = GpsRecords(np.empty(0, dtype=np.int64), np.empty((0, 2)),
+                           np.empty(0, dtype=bool), np.empty(0))
+        assert len(extract_trips(empty)) == 0
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            GpsRecords(np.zeros(2, dtype=np.int64), np.zeros((3, 2)),
+                       np.zeros(2, dtype=bool), np.zeros(2))

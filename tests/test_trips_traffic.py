@@ -1,0 +1,199 @@
+"""Tests for the latent spatio-temporal traffic field."""
+
+import numpy as np
+import pytest
+
+from repro.regions import toy_city
+from repro.trips import LatentTrafficField, daily_congestion_profile
+from repro.trips.traffic import TrafficFieldConfig
+
+
+@pytest.fixture(scope="module")
+def field():
+    return LatentTrafficField(toy_city(seed=1, n_regions=10), n_days=2,
+                              seed=7)
+
+
+class TestDailyProfile:
+    def test_length_and_range(self):
+        profile = daily_congestion_profile(15.0)
+        assert len(profile) == 96
+        assert (profile >= 0).all() and (profile <= 1).all()
+
+    def test_rush_hours_peak(self):
+        profile = daily_congestion_profile(15.0)
+        hours = (np.arange(96) + 0.5) / 4
+        am = profile[(hours > 7.5) & (hours < 9.5)].mean()
+        pm = profile[(hours > 16.5) & (hours < 18.5)].mean()
+        night = profile[hours < 5].mean()
+        assert am > 2 * night and pm > 2 * night
+
+    def test_interval_minutes_argument(self):
+        assert len(daily_congestion_profile(30.0)) == 48
+
+
+class TestLatentTrafficField:
+    def test_dimensions(self, field):
+        assert field.n_intervals == 192
+        assert field.congestion.shape == (192, 10)
+        assert field.free_flow.shape == (10,)
+
+    def test_speeds_positive_and_bounded(self, field):
+        for t in (0, 30, 100, 191):
+            speeds = field.region_speed(t)
+            assert (speeds > 0).all()
+            assert (speeds <= 25.0).all()
+
+    def test_rush_hour_slower_than_night(self, field):
+        # 08:30 (interval 34) vs 03:00 (interval 12) on day 1
+        rush = field.region_speed(34).mean()
+        night = field.region_speed(12).mean()
+        assert rush < night
+
+    def test_temporal_autocorrelation(self, field):
+        """Adjacent intervals share congestion shocks (AR(1) process)."""
+        shocks = field.congestion - field.congestion.mean(axis=0)
+        adjacent = np.corrcoef(shocks[:-1].ravel(), shocks[1:].ravel())[0, 1]
+        shuffled = np.corrcoef(shocks[:-13].ravel(), shocks[13:].ravel())[0, 1]
+        assert adjacent > 0.5
+        assert adjacent > shuffled
+
+    def test_spatial_correlation_of_congestion(self, field):
+        """Nearby regions move together more than distant regions."""
+        distances = field.city.centroid_distances()
+        congestion = field.congestion
+        corr = np.corrcoef(congestion.T)
+        n = field.city.n_regions
+        iu = np.triu_indices(n, k=1)
+        near = distances[iu] < np.median(distances[iu])
+        assert corr[iu][near].mean() > corr[iu][~near].mean()
+
+    def test_od_speed_params_shapes(self, field):
+        mu, sigma = field.od_speed_params(40)
+        assert mu.shape == (10, 10) and sigma.shape == (10, 10)
+        assert (sigma > 0).all()
+
+    def test_dispersion_grows_with_distance(self, field):
+        _, sigma = field.od_speed_params(40)
+        d = field.city.centroid_distances()
+        far = d > np.percentile(d, 80)
+        near = (d < np.percentile(d, 20)) & (d > 0)
+        assert sigma[far].mean() > sigma[near].mean()
+
+    def test_sample_speeds_plausible(self, field, rng):
+        o = rng.integers(0, 10, size=500)
+        d = rng.integers(0, 10, size=500)
+        speeds = field.sample_speeds(50, o, d, rng)
+        assert (speeds >= 0.3).all() and (speeds <= 30.0).all()
+
+    def test_true_histogram_valid(self, field):
+        edges = np.array([0, 3, 6, 9, 12, 15, 18, np.inf])
+        hist = field.true_histogram(60, edges)
+        assert hist.shape == (10, 10, 7)
+        assert np.allclose(hist.sum(axis=-1), 1.0)
+        assert (hist >= 0).all()
+
+    def test_true_histogram_consistent_with_samples(self, field, rng):
+        """Empirical bucket frequencies converge to the analytic ones."""
+        edges = np.array([0, 3, 6, 9, 12, 15, 18, np.inf])
+        hist = field.true_histogram(60, edges)
+        o = np.zeros(20000, dtype=int)
+        d = np.full(20000, 5)
+        speeds = field.sample_speeds(60, o, d, np.random.default_rng(0))
+        counts = np.histogram(speeds, bins=np.append(edges[:-1], 100))[0]
+        empirical = counts / counts.sum()
+        assert np.abs(empirical - hist[0, 5]).max() < 0.02
+
+    def test_invalid_days(self):
+        with pytest.raises(ValueError):
+            LatentTrafficField(toy_city(), n_days=0)
+
+    def test_deterministic_given_seed(self):
+        city = toy_city(seed=2, n_regions=8)
+        a = LatentTrafficField(city, n_days=1, seed=3)
+        b = LatentTrafficField(city, n_days=1, seed=3)
+        assert np.allclose(a.congestion, b.congestion)
+
+
+class TestWeatherProcess:
+    def test_disabled_by_default(self, field):
+        assert np.allclose(field.weather, 0.0)
+        assert np.allclose(field.context_series(), 0.0)
+        assert field.context_series().shape == (field.n_intervals, 1)
+
+    def test_enabled_slows_traffic(self):
+        from repro.regions import toy_city
+        city = toy_city(seed=5, n_regions=8)
+        calm = LatentTrafficField(city, n_days=1, seed=9)
+        stormy = LatentTrafficField(
+            city, n_days=1, seed=9,
+            config=TrafficFieldConfig(weather_strength=0.8))
+        wet = stormy.weather > 0.3
+        if not wet.any():
+            pytest.skip("no strong weather episode with this seed")
+        t = int(np.flatnonzero(wet)[0])
+        assert stormy.region_speed(t).mean() <= calm.region_speed(t).mean()
+
+    def test_weather_bounded_and_persistent(self):
+        from repro.regions import toy_city
+        field = LatentTrafficField(
+            toy_city(seed=5, n_regions=8), n_days=2, seed=1,
+            config=TrafficFieldConfig(weather_strength=0.5))
+        assert (field.weather >= 0).all() and (field.weather <= 1).all()
+        w = field.weather
+        if w.std() > 1e-9:
+            auto = np.corrcoef(w[:-1], w[1:])[0, 1]
+            assert auto > 0.8   # slow-moving episodes
+
+
+class TestOracleHeadroom:
+    def test_headroom_positive_with_default_shocks(self):
+        from repro.histograms import build_od_tensors
+        from repro.trips import (DemandConfig, TripGenerator,
+                                 oracle_headroom)
+        city = toy_city(seed=4, n_regions=10)
+        field = LatentTrafficField(city, n_days=3, seed=5)
+        gen = TripGenerator(field,
+                            DemandConfig(trips_per_interval=200.0), seed=6)
+        seq = build_od_tensors(gen.generate(), city,
+                               n_intervals=field.n_intervals)
+        report = oracle_headroom(field, seq)
+        # Conditioning on the truth must not hurt, and with the default
+        # shock calibration it should help clearly.
+        assert report.conditional_emd <= report.marginal_emd
+        assert report.gain > 0.05
+
+    def test_weak_shocks_shrink_headroom(self):
+        from repro.histograms import build_od_tensors
+        from repro.trips import (DemandConfig, TripGenerator,
+                                 oracle_headroom)
+        city = toy_city(seed=4, n_regions=10)
+
+        def measure(config):
+            field = LatentTrafficField(city, n_days=3, seed=5,
+                                       config=config)
+            gen = TripGenerator(
+                field, DemandConfig(trips_per_interval=200.0), seed=6)
+            seq = build_od_tensors(gen.generate(), city,
+                                   n_intervals=field.n_intervals)
+            return oracle_headroom(field, seq).gain
+
+        strong = measure(TrafficFieldConfig())
+        weak = measure(TrafficFieldConfig(shock_scale=0.02))
+        assert weak < strong
+
+    def test_mismatched_inputs_rejected(self):
+        from repro.histograms import build_od_tensors
+        from repro.trips import (DemandConfig, TripGenerator,
+                                 oracle_headroom)
+        city = toy_city(seed=4, n_regions=10)
+        field = LatentTrafficField(city, n_days=2, seed=5)
+        gen = TripGenerator(field,
+                            DemandConfig(trips_per_interval=100.0), seed=6)
+        seq = build_od_tensors(gen.generate(), city,
+                               n_intervals=field.n_intervals)
+        with pytest.raises(ValueError):
+            oracle_headroom(field, seq, test_days=2)
+        short = seq.slice(0, 96)
+        with pytest.raises(ValueError):
+            oracle_headroom(field, short)

@@ -1,0 +1,80 @@
+"""Tests for sliding windows and chronological splits."""
+
+import numpy as np
+import pytest
+
+from repro.histograms import WindowDataset, chronological_split
+
+
+class TestWindowDataset:
+    def test_window_count(self, sequence):
+        w = WindowDataset(sequence, s=3, h=2)
+        assert len(w) == sequence.n_intervals - 3 - 2 + 1
+
+    def test_history_target_contiguity(self, sequence):
+        w = WindowDataset(sequence, s=3, h=2)
+        i = 17
+        assert np.allclose(w.history(i), sequence.tensors[17:20])
+        assert np.allclose(w.target(i), sequence.tensors[20:22])
+        assert np.array_equal(w.target_intervals(i), [20, 21])
+
+    def test_masks_align(self, sequence):
+        w = WindowDataset(sequence, s=3, h=2)
+        assert np.array_equal(w.target_mask(5), sequence.mask[8:10])
+        assert np.array_equal(w.history_mask(5), sequence.mask[5:8])
+
+    def test_gather_shapes(self, windows):
+        histories, targets, masks = windows.gather([0, 5, 9])
+        n = windows.sequence.n_origins
+        assert histories.shape == (3, 3, n, n, 7)
+        assert targets.shape == (3, 2, n, n, 7)
+        assert masks.shape == (3, 2, n, n)
+
+    def test_batches_cover_all_indices(self, windows):
+        indices = np.arange(20)
+        seen = 0
+        for histories, _, _ in windows.batches(indices, batch_size=6):
+            seen += len(histories)
+            assert len(histories) <= 6
+        assert seen == 20
+
+    def test_batches_shuffle(self, windows):
+        indices = np.arange(30)
+        rng = np.random.default_rng(0)
+        first = next(iter(windows.batches(indices, 30, rng=rng)))[0]
+        plain = next(iter(windows.batches(indices, 30)))[0]
+        assert not np.allclose(first, plain)
+
+    def test_invalid_parameters(self, sequence):
+        with pytest.raises(ValueError):
+            WindowDataset(sequence, s=0, h=1)
+        with pytest.raises(ValueError):
+            WindowDataset(sequence, s=3, h=0)
+        with pytest.raises(ValueError):
+            WindowDataset(sequence.slice(0, 4), s=3, h=2)
+
+
+class TestChronologicalSplit:
+    def test_partitions_disjoint_and_ordered(self, windows):
+        split = chronological_split(windows)
+        assert len(split.train) + len(split.val) + len(split.test) \
+            == len(windows)
+        assert split.train.max() < split.val.min()
+        assert split.val.max() < split.test.min()
+
+    def test_fractions(self, windows):
+        split = chronological_split(windows, 0.5, 0.25)
+        n = len(windows)
+        assert len(split.train) == int(n * 0.5)
+        assert abs(len(split.val) - n * 0.25) <= 1
+
+    def test_invalid_fractions(self, windows):
+        with pytest.raises(ValueError):
+            chronological_split(windows, 0.9, 0.2)
+        with pytest.raises(ValueError):
+            chronological_split(windows, 0.0, 0.1)
+
+    def test_empty_part_rejected(self, sequence):
+        tiny = WindowDataset(sequence.slice(0, 8), s=3, h=2)
+        with pytest.raises(ValueError):
+            chronological_split(tiny, 0.9, 0.05)
