@@ -1,0 +1,295 @@
+"""Microbenchmark: fused autodiff kernels vs. their reference paths.
+
+Times forward+backward of every fused kernel in ``repro.autodiff.ops``
+against the retained primitive-op reference implementation, plus one
+full AF and BF training step (forward, loss, backward, Adam update) with
+the fused kernels globally on vs. off.  Results are written as JSON
+(default: ``BENCH_AUTODIFF.json`` at the repo root) so the perf
+trajectory of the autodiff substrate has recorded data.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/microbench.py            # full sizes
+    PYTHONPATH=src python benchmarks/microbench.py --scale smoke
+    PYTHONPATH=src python benchmarks/microbench.py --out /tmp/bench.json
+
+``run_benchmarks.sh`` invokes this before the pytest benchmark sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.autodiff import Tensor, ops, set_default_dtype
+from repro.autodiff.optim import Adam
+from repro.core import (AdvancedFramework, BasicFramework, af_loss, bf_loss)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Problem sizes per scale.  "smoke" mirrors the 12-region toy cities of
+#: the benchmark harness; "full" the NYC-like 67-region setting.
+SIZES = {
+    "smoke": dict(n_nodes=24, n_cols=96, order=3,
+                  gru_batch=32, gru_input=48, gru_hidden=48,
+                  rec_batch=4, rec_n=16, rec_rank=5, rec_k=8,
+                  regions=12, batch=4, s=6, horizon=3, buckets=8,
+                  repeats=10),
+    "full": dict(n_nodes=67, n_cols=536, order=3,
+                 gru_batch=64, gru_input=128, gru_hidden=128,
+                 rec_batch=8, rec_n=48, rec_rank=5, rec_k=8,
+                 regions=32, batch=8, s=6, horizon=3, buckets=8,
+                 repeats=3),
+}
+
+
+def _time(fn, repeats: int, warmup: int = 1) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``fn()``."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _pair(fused_fn, reference_fn, repeats: int) -> dict:
+    fused_s = _time(fused_fn, repeats)
+    reference_s = _time(reference_fn, repeats)
+    return {
+        "fused_ms": round(fused_s * 1e3, 4),
+        "reference_ms": round(reference_s * 1e3, 4),
+        "speedup": round(reference_s / fused_s, 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# kernel benches: forward + backward of one op
+# ----------------------------------------------------------------------
+def bench_cheb_propagate(sizes, rng) -> dict:
+    n, m, order = sizes["n_nodes"], sizes["n_cols"], sizes["order"]
+    lap = rng.normal(size=(n, n))
+    lap = (lap + lap.T) / 2.0
+    x = Tensor(rng.normal(size=(n, m)), requires_grad=True)
+    seed = np.ones((n, m, order))
+
+    def run(op):
+        x.zero_grad()
+        op(lap, x, order).backward(seed)
+
+    return _pair(lambda: run(ops.cheb_propagate),
+                 lambda: run(ops.cheb_propagate_reference),
+                 sizes["repeats"])
+
+
+def bench_fused_gru_gates(sizes, rng) -> dict:
+    b, i, hdim = sizes["gru_batch"], sizes["gru_input"], sizes["gru_hidden"]
+    joint = i + hdim
+    x = Tensor(rng.normal(size=(b, i)), requires_grad=True)
+    h = Tensor(rng.normal(size=(b, hdim)), requires_grad=True)
+    params = [Tensor(rng.normal(size=(joint, hdim)) * 0.1, requires_grad=True)
+              if k % 2 == 0 else
+              Tensor(np.zeros(hdim), requires_grad=True)
+              for k in range(6)]
+    seed = np.ones((b, hdim))
+
+    def run(op):
+        for t in (x, h, *params):
+            t.zero_grad()
+        op(x, h, *params).backward(seed)
+
+    return _pair(lambda: run(ops.fused_gru_gates),
+                 lambda: run(ops.fused_gru_gates_reference),
+                 sizes["repeats"])
+
+
+def bench_fused_softmax_recovery(sizes, rng) -> dict:
+    b, n, rank, k = (sizes["rec_batch"], sizes["rec_n"],
+                     sizes["rec_rank"], sizes["rec_k"])
+    r = Tensor(rng.normal(size=(b, n, rank, k)), requires_grad=True)
+    c = Tensor(rng.normal(size=(b, rank, n, k)), requires_grad=True)
+    seed = np.ones((b, n, n, k))
+
+    def run(op):
+        r.zero_grad()
+        c.zero_grad()
+        op(r, c).backward(seed)
+
+    return _pair(lambda: run(ops.fused_softmax_recovery),
+                 lambda: run(ops.fused_softmax_recovery_reference),
+                 sizes["repeats"])
+
+
+def bench_fused_masked_frobenius(sizes, rng) -> dict:
+    b, n, k = sizes["rec_batch"], sizes["rec_n"], sizes["rec_k"]
+    pred = Tensor(rng.uniform(size=(b, 3, n, n, k)), requires_grad=True)
+    truth = rng.uniform(size=(b, 3, n, n, k))
+    mask = (rng.uniform(size=(b, 3, n, n)) < 0.4).astype(float)
+
+    def run(op):
+        pred.zero_grad()
+        op(pred, truth, mask).backward()
+
+    return _pair(lambda: run(ops.fused_masked_frobenius),
+                 lambda: run(ops.fused_masked_frobenius_reference),
+                 sizes["repeats"])
+
+
+KERNEL_BENCHES = {
+    "cheb_propagate": bench_cheb_propagate,
+    "fused_gru_gates": bench_fused_gru_gates,
+    "fused_softmax_recovery": bench_fused_softmax_recovery,
+    "fused_masked_frobenius": bench_fused_masked_frobenius,
+}
+
+
+# ----------------------------------------------------------------------
+# end-to-end training-step benches
+# ----------------------------------------------------------------------
+def _random_proximity(n: int, rng) -> np.ndarray:
+    w = rng.uniform(0.1, 1.0, size=(n, n))
+    w = (w + w.T) / 2.0
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+def _train_step_batch(sizes, rng):
+    n, k = sizes["regions"], sizes["buckets"]
+    b, s, h = sizes["batch"], sizes["s"], sizes["horizon"]
+    history = rng.uniform(size=(b, s, n, n, k))
+    truth = rng.uniform(size=(b, h, n, n, k))
+    mask = (rng.uniform(size=(b, h, n, n)) < 0.4).astype(float)
+    return history, truth, mask
+
+
+def make_af_step(sizes, seed: int = 0):
+    """One AF training step (forward, Eq. 11 loss, backward, Adam)."""
+    rng = np.random.default_rng(seed)
+    n = sizes["regions"]
+    w = _random_proximity(n, rng)
+    model = AdvancedFramework(w, w, sizes["buckets"],
+                              np.random.default_rng(seed), rank=4,
+                              rnn_hidden=8, rnn_order=2)
+    optimizer = Adam(model.parameters())
+    history, truth, mask = _train_step_batch(sizes, rng)
+    horizon = sizes["horizon"]
+
+    def step():
+        prediction, r, c = model(history, horizon)
+        loss = af_loss(prediction, truth, mask, r, c, w, w)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+
+    return step
+
+
+def make_bf_step(sizes, seed: int = 0):
+    """One BF training step (forward, Eq. 4 loss, backward, Adam)."""
+    rng = np.random.default_rng(seed)
+    n = sizes["regions"]
+    model = BasicFramework(n, n, sizes["buckets"],
+                           np.random.default_rng(seed), rank=4,
+                           encoder_dim=16, hidden_dim=32)
+    optimizer = Adam(model.parameters())
+    history, truth, mask = _train_step_batch(sizes, rng)
+    horizon = sizes["horizon"]
+
+    def step():
+        prediction, r, c = model(history, horizon)
+        loss = bf_loss(prediction, truth, mask, r, c)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+
+    return step
+
+
+def bench_train_step(make_step, sizes) -> dict:
+    """Time one training step with fused kernels on vs. off.
+
+    The model is rebuilt per mode from the same seed so both paths
+    optimize identical weights.  The two modes are timed in interleaved
+    rounds (fused, reference, fused, ...) so slow periods of a noisy
+    host hit both paths equally instead of skewing the ratio.
+    """
+    repeats = sizes["repeats"]
+    with ops.use_fused(True):
+        step_fused = make_step(sizes)
+        step_fused()                                # warmup
+    with ops.use_fused(False):
+        step_reference = make_step(sizes)
+        step_reference()                            # warmup
+    fused_s = reference_s = float("inf")
+    for _ in range(repeats):
+        with ops.use_fused(True):
+            start = time.perf_counter()
+            step_fused()
+            fused_s = min(fused_s, time.perf_counter() - start)
+        with ops.use_fused(False):
+            start = time.perf_counter()
+            step_reference()
+            reference_s = min(reference_s, time.perf_counter() - start)
+    return {
+        "fused_ms": round(fused_s * 1e3, 2),
+        "reference_ms": round(reference_s * 1e3, 2),
+        "speedup": round(reference_s / fused_s, 2),
+    }
+
+
+# ----------------------------------------------------------------------
+def run_microbench(scale: str = "full", dtype: str = "float32") -> dict:
+    """Run every bench; returns the report dict (also used by tests)."""
+    if scale not in SIZES:
+        raise ValueError(f"scale must be one of {sorted(SIZES)}, "
+                         f"got {scale!r}")
+    sizes = SIZES[scale]
+    set_default_dtype(np.dtype(dtype).type)
+    try:
+        rng = np.random.default_rng(42)
+        kernels = {name: bench(sizes, rng)
+                   for name, bench in KERNEL_BENCHES.items()}
+        train_step = {
+            "af": bench_train_step(make_af_step, sizes),
+            "bf": bench_train_step(make_bf_step, sizes),
+        }
+    finally:
+        set_default_dtype(np.float64)
+    return {
+        "generated_by": "benchmarks/microbench.py",
+        "scale": scale,
+        "dtype": dtype,
+        "timing": "best-of-%d wall clock, forward+backward" % sizes["repeats"],
+        "kernels": kernels,
+        "train_step": train_step,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="full", choices=sorted(SIZES))
+    parser.add_argument("--dtype", default="float32",
+                        choices=("float32", "float64"))
+    parser.add_argument("--out", default=str(REPO_ROOT /
+                                             "BENCH_AUTODIFF.json"))
+    args = parser.parse_args(argv)
+    report = run_microbench(scale=args.scale, dtype=args.dtype)
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    for section in ("kernels", "train_step"):
+        for name, row in report[section].items():
+            print(f"  {name:24s} fused {row['fused_ms']:9.3f} ms   "
+                  f"reference {row['reference_ms']:9.3f} ms   "
+                  f"{row['speedup']:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

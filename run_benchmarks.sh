@@ -6,5 +6,13 @@
 #   REPRO_BENCH_SCALE=smoke ./run_benchmarks.sh   # 2-minute plumbing check
 set -uo pipefail
 cd "$(dirname "$0")"
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+# Kernel microbenchmarks first: fused vs. reference autodiff ops and
+# one AF/BF training step.  Writes BENCH_AUTODIFF.json at the repo root.
+python3 benchmarks/microbench.py \
+    --scale "${REPRO_BENCH_SCALE:-full}" \
+    2>&1 | tee bench_autodiff_output.txt
+
 python3 -m pytest benchmarks/ --benchmark-only -p no:cacheprovider -s -q \
     2>&1 | tee bench_output.txt

@@ -15,6 +15,7 @@ The deep-learning stack the paper builds on, reimplemented from scratch:
 
 from . import init, ops
 from .gradcheck import check_gradients, numerical_gradient
+from .ops import fused_enabled, set_fused, use_fused
 from .layers import (MLP, Activation, Dropout, Embedding, LayerNorm,
                      Linear, Sequential)
 from .module import Module, Parameter
@@ -26,6 +27,7 @@ from .tensor import (Tensor, get_default_dtype, ones, set_default_dtype,
 __all__ = [
     "Tensor", "tensor", "zeros", "ones",
     "set_default_dtype", "get_default_dtype",
+    "fused_enabled", "set_fused", "use_fused",
     "ops", "init",
     "Module", "Parameter",
     "Linear", "Dropout", "Sequential", "Activation", "MLP", "Embedding",

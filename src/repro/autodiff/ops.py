@@ -8,11 +8,23 @@ of graph-convolution slices, dropout regularization, ...).
 
 from __future__ import annotations
 
-from typing import Sequence
+import contextlib
+from typing import Sequence, Union
 
 import numpy as np
 
 from .tensor import Tensor, _ensure_tensor, _unbroadcast
+
+
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid on a raw array.
+
+    ``exp(-x)`` overflowing to ``inf`` for very negative inputs is benign
+    — the quotient is exactly 0.0 — so the overflow warning is silenced
+    instead of paying for a branchy masked formulation.
+    """
+    with np.errstate(over="ignore"):
+        return 1.0 / (1.0 + np.exp(-x))
 
 
 def exp(x: Tensor) -> Tensor:
@@ -54,11 +66,7 @@ def sqrt(x: Tensor) -> Tensor:
 def sigmoid(x: Tensor) -> Tensor:
     """Numerically stable logistic sigmoid."""
     x = _ensure_tensor(x)
-    out_data = np.empty_like(x.data)
-    positive = x.data >= 0
-    out_data[positive] = 1.0 / (1.0 + np.exp(-x.data[positive]))
-    ex = np.exp(x.data[~positive])
-    out_data[~positive] = ex / (1.0 + ex)
+    out_data = _stable_sigmoid(x.data)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
@@ -252,13 +260,20 @@ def take_axis(x: Tensor, indices: np.ndarray, axis: int) -> Tensor:
     x = _ensure_tensor(x)
     indices = np.asarray(indices, dtype=np.intp)
     out_data = np.take(x.data, indices, axis=axis)
+    # Distinct indices (e.g. the coarsening permutation) scatter to
+    # disjoint slots, so the gradient is a plain fancy assignment;
+    # only duplicated indices need the far slower accumulating add.at.
+    unique = np.unique(indices).size == indices.size
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
             full = np.zeros_like(x.data)
             index = [slice(None)] * x.ndim
             index[axis] = indices
-            np.add.at(full, tuple(index), grad)
+            if unique:
+                full[tuple(index)] = grad
+            else:
+                np.add.at(full, tuple(index), grad)
             x._accumulate(full)
 
     return Tensor._make(out_data, (x,), backward)
@@ -303,3 +318,986 @@ def _pool_axis(x: Tensor, axis: int, stride: int, how: str) -> Tensor:
         x._accumulate(np.moveaxis(expanded.reshape(moved.shape), 0, axis))
 
     return Tensor._make(out_data, (x,), backward)
+
+
+# ======================================================================
+# Fused kernels
+# ======================================================================
+# Composite ops covering the models' hot paths: each one evaluates a
+# whole sub-expression (Chebyshev recursion, GRU cell, recovery softmax,
+# masked loss) in raw numpy and records a SINGLE graph node whose
+# backward closure is the hand-written adjoint.  This removes the
+# per-primitive Python closure overhead and the numpy temporaries that
+# otherwise dominate training wall-clock (see docs/AUTODIFF.md, "Fused
+# kernels").
+#
+# Every fused op keeps a ``*_reference`` twin built from the primitive
+# ops above.  The twins are the ground truth for the gradcheck parity
+# tests in tests/test_autodiff_fused.py and power the fused-vs-reference
+# microbenchmark (benchmarks/microbench.py); ``set_fused(False)`` or the
+# ``use_fused(False)`` context manager routes the public entry points
+# through them.
+
+_FUSED_ENABLED = True
+
+
+def fused_enabled() -> bool:
+    """Whether the fused kernels are active (vs. the reference paths)."""
+    return _FUSED_ENABLED
+
+
+def set_fused(enabled: bool) -> bool:
+    """Enable/disable the fused kernels globally; returns the old value."""
+    global _FUSED_ENABLED
+    previous = _FUSED_ENABLED
+    _FUSED_ENABLED = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def use_fused(enabled: bool):
+    """Context manager scoping :func:`set_fused`."""
+    previous = set_fused(enabled)
+    try:
+        yield
+    finally:
+        set_fused(previous)
+
+
+def _constant_array(value: Union[Tensor, np.ndarray]) -> np.ndarray:
+    """View a graph constant (Tensor or array) as a raw array."""
+    if isinstance(value, Tensor):
+        if value.requires_grad:
+            raise ValueError(
+                "fused kernels treat this operand as a constant; it must "
+                "not require grad")
+        return value.data
+    return np.asarray(value)
+
+
+# ----------------------------------------------------------------------
+# Chebyshev propagation (ChebConv's recursion, paper Eq. 5)
+# ----------------------------------------------------------------------
+def cheb_propagate(lap: Union[Tensor, np.ndarray], x: Tensor,
+                   order: int) -> Tensor:
+    """All ``order`` Chebyshev terms of ``x`` on ``lap`` as one node.
+
+    Forward: ``T_0 = x``, ``T_1 = L x``, ``T_s = 2 L T_{s-1} - T_{s-2}``,
+    stacked along a new trailing axis — output ``(N, M, order)`` for input
+    ``x (N, M)``.  ``lap`` is a graph constant (no gradient).  Backward
+    runs the recursion's adjoint: sweeping ``s`` downward, the adjoint of
+    ``T_s`` adds ``2 L^T a_s`` to ``T_{s-1}`` and ``-a_s`` to ``T_{s-2}``.
+    """
+    if order < 1:
+        raise ValueError(f"Chebyshev order must be >= 1, got {order}")
+    if not fused_enabled():
+        return cheb_propagate_reference(lap, x, order)
+    x = _ensure_tensor(x)
+    if x.ndim != 2:
+        raise ValueError(f"cheb_propagate expects a 2-D signal, "
+                         f"got shape {x.shape}")
+    lap_data = _constant_array(lap)
+    if lap_data.shape != (x.shape[0], x.shape[0]):
+        raise ValueError(
+            f"Laplacian shape {lap_data.shape} does not match signal with "
+            f"{x.shape[0]} nodes")
+    terms = [x.data]
+    if order > 1:
+        terms.append(lap_data @ x.data)
+    for _ in range(2, order):
+        t = lap_data @ terms[-1]
+        t *= 2.0
+        t -= terms[-2]
+        terms.append(t)
+    out_data = np.stack(terms, axis=-1)
+    lap_t = lap_data.T
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        # Own a contiguous copy: the adjoint sweep accumulates in place.
+        adj = np.ascontiguousarray(grad.transpose(2, 0, 1))
+        for s in range(order - 1, 1, -1):
+            adj[s - 1] += 2.0 * (lap_t @ adj[s])
+            adj[s - 2] -= adj[s]
+        if order > 1:
+            adj[0] += lap_t @ adj[1]
+        x._accumulate(adj[0])
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def cheb_propagate_reference(lap: Union[Tensor, np.ndarray], x: Tensor,
+                             order: int) -> Tensor:
+    """Unfused Chebyshev recursion from primitive ops (ground truth)."""
+    if order < 1:
+        raise ValueError(f"Chebyshev order must be >= 1, got {order}")
+    lap = lap if isinstance(lap, Tensor) else Tensor(np.asarray(lap))
+    x = _ensure_tensor(x)
+    terms = [x]
+    if order > 1:
+        terms.append(lap.matmul(x))
+    for _ in range(2, order):
+        terms.append(2.0 * lap.matmul(terms[-1]) - terms[-2])
+    return stack(terms, axis=-1)
+
+
+# ----------------------------------------------------------------------
+# Whole Cheby-Net convolution (paper Eq. 5)
+# ----------------------------------------------------------------------
+def _cheb_terms(lap: np.ndarray, signal: np.ndarray,
+                order: int) -> list:
+    """Chebyshev terms of a batched graph signal (raw numpy).
+
+    ``signal (B, N, C)`` → list of ``order`` arrays, each ``(B, N, C)``.
+    The batch layout is kept as-is: ``np.matmul`` broadcasts the
+    ``(N, N)`` Laplacian over the batch axis, so no transposes or
+    relayout copies are needed anywhere in the recursion.
+    """
+    terms = [signal]
+    if order > 1:
+        terms.append(np.matmul(lap, signal))
+    for _ in range(2, order):
+        t = np.matmul(lap, terms[-1])
+        t *= 2.0
+        t -= terms[-2]
+        terms.append(t)
+    return terms
+
+
+def _cheb_feats(terms: list, order: int) -> np.ndarray:
+    """Interleave Chebyshev terms into the feature matrix ``(B·N, C·S)``.
+
+    Feature column ``c*order + s`` matches ChebConv's weight-row layout,
+    so the forward mix, the weight gradient, and the adjoint seed are
+    each one full-weight GEMM against this matrix.  Terms may carry
+    leading stack axes: ``(..., B, N, C)`` → ``(..., B·N, C·S)``
+    (batched GEMMs against stacked weights).
+    """
+    shape = terms[0].shape
+    c = shape[-1]
+    rows = shape[:-3] + (shape[-3] * shape[-2],)
+    if order == 1:
+        return terms[0].reshape(rows + (c,))
+    out = np.empty(shape + (order,), dtype=terms[0].dtype)
+    for s, term in enumerate(terms):
+        out[..., s] = term
+    return out.reshape(rows + (c * order,))
+
+
+def _cheb_adjoint(lap_t: np.ndarray, dmixed: np.ndarray,
+                  weight: np.ndarray, shape: tuple,
+                  order: int) -> np.ndarray:
+    """Signal adjoint of mix∘terms: ``dmixed (B·N, Q)`` → ``shape``
+    (the forward signal's shape, e.g. ``(B, N, C)``).
+
+    Seeds every term's adjoint with one GEMM ``dmixed · Wᵀ`` (splitting
+    the interleaved columns per term), then runs the Chebyshev
+    recursion's adjoint (sweeping the term index down,
+    ``a_{s-1} += 2 Lᵀ a_s``, ``a_{s-2} -= a_s``).  Leading stack axes on
+    ``dmixed``/``weight``/``lap_t``/``shape`` broadcast through.
+    """
+    dfull = np.matmul(dmixed, np.swapaxes(weight, -1, -2)).reshape(
+        shape + (order,))
+    if order == 1:
+        return dfull[..., 0]
+    if order == 2:
+        out = np.matmul(lap_t, np.ascontiguousarray(dfull[..., 1]))
+        out += dfull[..., 0]
+        return out
+    adj = [np.ascontiguousarray(dfull[..., s]) for s in range(order)]
+    for s in range(order - 1, 1, -1):
+        adj[s - 1] += 2.0 * np.matmul(lap_t, adj[s])
+        adj[s - 2] -= adj[s]
+    adj[0] += np.matmul(lap_t, adj[1])
+    return adj[0]
+
+
+def cheb_conv(lap: Union[Tensor, np.ndarray], x: Tensor, weight: Tensor,
+              bias: Tensor, order: int) -> Tensor:
+    """A whole Cheby-Net graph convolution (Eq. 5) as one node.
+
+    Layout juggling, Chebyshev recursion, channel mixing, and bias — the
+    ~8 primitive nodes of the unfused composition — collapse into a
+    single node: ``x (B, N, C)`` → ``(B, N, Q)`` with
+    ``weight (C·order, Q)`` and ``bias (Q,)``.
+    """
+    if order < 1:
+        raise ValueError(f"Chebyshev order must be >= 1, got {order}")
+    if not fused_enabled():
+        return cheb_conv_reference(lap, x, weight, bias, order)
+    x = _ensure_tensor(x)
+    if x.ndim != 3:
+        raise ValueError(f"cheb_conv expects (batch, N, C) input, "
+                         f"got shape {x.shape}")
+    lap_data = _constant_array(lap)
+    batch, n, channels = x.shape
+    if lap_data.shape != (n, n):
+        raise ValueError(
+            f"Laplacian shape {lap_data.shape} does not match signal "
+            f"with {n} nodes")
+    if weight.shape != (channels * order, weight.shape[-1]):
+        raise ValueError(
+            f"weight shape {weight.shape} does not match "
+            f"{channels} channels x order {order}")
+    q = weight.shape[-1]
+    terms = _cheb_terms(lap_data, x.data, order)        # S x (B, N, C)
+    feats = _cheb_feats(terms, order)                   # (B*N, C*S)
+    out_data = (feats @ weight.data).reshape(batch, n, q) + bias.data
+    lap_t = lap_data.T
+
+    def backward(grad: np.ndarray) -> None:
+        gm = grad.reshape(batch * n, q)
+        if weight.requires_grad:
+            weight._accumulate(feats.T @ gm)
+        if bias.requires_grad:
+            bias._accumulate(gm.sum(axis=0))
+        if x.requires_grad:
+            x._accumulate(_cheb_adjoint(
+                lap_t, gm, weight.data, (batch, n, channels), order))
+
+    return Tensor._make(out_data, (x, weight, bias), backward)
+
+
+def cheb_conv_reference(lap: Union[Tensor, np.ndarray], x: Tensor,
+                        weight: Tensor, bias: Tensor, order: int) -> Tensor:
+    """Unfused Cheby-Net convolution from primitive ops (ground truth)."""
+    x = _ensure_tensor(x)
+    batch, n, channels = x.shape
+    flat = x.transpose((1, 0, 2)).reshape(n, batch * channels)
+    stacked = cheb_propagate_reference(lap, flat, order)
+    features = stacked.reshape(n * batch, channels * order)
+    mixed = features.matmul(weight)
+    out = mixed.reshape(n, batch, weight.shape[-1])
+    return out.transpose((1, 0, 2)) + bias
+
+
+# ----------------------------------------------------------------------
+# Fused GCNN encoder stage (paper §V-A: ChebConv + ReLU + pooling)
+# ----------------------------------------------------------------------
+def fused_gcnn_stage(lap: Union[Tensor, np.ndarray], x: Tensor,
+                     weight: Tensor, bias: Tensor, order: int,
+                     stride: int = 1, perm: np.ndarray = None,
+                     inv_counts: np.ndarray = None) -> Tensor:
+    """One factorizer stage — conv, ReLU, cluster pooling — as one node.
+
+    ``x (B, N, C)`` runs through a Cheby-Net convolution (Eq. 5), ReLU,
+    an optional pad-and-permute into cluster order (``perm``, the
+    coarsening's padded permutation), and mean pooling over
+    non-overlapping windows of ``stride`` nodes scaled by ``inv_counts``
+    (1 / real nodes per cluster, 0 for all-fake clusters).  ``stride=1``
+    skips pooling.  This is :class:`repro.core.spatial.SpatialFactorizer`'s
+    hot path; the ~10-node primitive composition is kept in
+    :func:`fused_gcnn_stage_reference`.
+    """
+    if not fused_enabled():
+        return fused_gcnn_stage_reference(lap, x, weight, bias, order,
+                                          stride=stride, perm=perm,
+                                          inv_counts=inv_counts)
+    x = _ensure_tensor(x)
+    if x.ndim != 3:
+        raise ValueError(f"fused_gcnn_stage expects (batch, N, C) input, "
+                         f"got shape {x.shape}")
+    lap_data = _constant_array(lap)
+    batch, n, channels = x.shape
+    q = weight.shape[-1]
+    terms = _cheb_terms(lap_data, x.data, order)
+    feats = _cheb_feats(terms, order)                   # (B*N, C*S)
+    act = (feats @ weight.data).reshape(batch, n, q)
+    act += bias.data
+    np.maximum(act, 0.0, out=act)
+    if perm is not None:
+        real = perm < n
+        pooled_src = np.zeros((batch, perm.size, q), dtype=act.dtype)
+        pooled_src[:, real] = act[:, perm[real]]
+        # Undo the pad-and-permute: original node j sits at the padded
+        # position holding value perm[...] == j; dividing by the pool
+        # stride maps it straight to its cluster.
+        inverse = np.empty(n, dtype=np.intp)
+        inverse[perm[real]] = np.nonzero(real)[0]
+        cluster_of_node = inverse // stride
+    else:
+        pooled_src = act
+        cluster_of_node = np.arange(n, dtype=np.intp) // stride
+    if stride > 1:
+        m = pooled_src.shape[1]
+        scale = inv_counts.astype(act.dtype, copy=False)[:, None]
+        out_data = pooled_src.reshape(batch, m // stride, stride,
+                                      q).sum(axis=2)
+        out_data *= scale
+    else:
+        out_data = pooled_src
+    lap_t = lap_data.T
+
+    def backward(grad: np.ndarray) -> None:
+        # Each original node's grad is its cluster's (scaled) grad: one
+        # fancy gather instead of materializing the broadcast + un-permute.
+        if stride > 1:
+            scaled = grad * scale
+            dact = scaled[:, cluster_of_node]
+            dact *= act > 0                         # ReLU mask, in place
+        elif perm is not None:
+            dact = grad[:, cluster_of_node]
+            dact *= act > 0
+        else:
+            dact = grad * (act > 0)
+        gm = dact.reshape(batch * n, q)
+        if weight.requires_grad:
+            weight._accumulate(feats.T @ gm)
+        if bias.requires_grad:
+            bias._accumulate(gm.sum(axis=0))
+        if x.requires_grad:
+            x._accumulate(_cheb_adjoint(
+                lap_t, gm, weight.data, (batch, n, channels), order))
+
+    return Tensor._make(out_data, (x, weight, bias), backward)
+
+
+def fused_gcnn_stage_reference(lap: Union[Tensor, np.ndarray], x: Tensor,
+                               weight: Tensor, bias: Tensor, order: int,
+                               stride: int = 1, perm: np.ndarray = None,
+                               inv_counts: np.ndarray = None) -> Tensor:
+    """Unfused conv+ReLU+pool stage from primitive ops (ground truth)."""
+    y = relu(cheb_conv_reference(lap, x, weight, bias, order))
+    if perm is not None:
+        y = pad_axis(y, 1, 0, perm.size - y.shape[1])
+        y = take_axis(y, np.asarray(perm, dtype=np.intp), 1)
+    if stride > 1:
+        y = mean_pool_axis(y, 1, stride)
+        y = y * (np.asarray(inv_counts) * stride).reshape(1, -1, 1)
+    return y
+
+
+def fused_latent_head(x: Tensor, w_buckets: Tensor, b_buckets: Tensor,
+                      w_latent: Tensor, b_latent: Tensor) -> Tensor:
+    """The factorizer's two-GEMM latent head as one node.
+
+    ``x (B, P, C)`` → bucket projection on the channel axis
+    (``w_buckets (C, K)``), transpose, latent projection on the cluster
+    axis (``w_latent (P, R)``), transpose back → ``(B, R, K)`` — the
+    linear → transpose → linear → transpose tail of
+    :class:`repro.core.spatial.SpatialFactorizer`.
+    """
+    if not fused_enabled():
+        return fused_latent_head_reference(x, w_buckets, b_buckets,
+                                           w_latent, b_latent)
+    x = _ensure_tensor(x)
+    t = x.data @ w_buckets.data + b_buckets.data        # (B, P, K)
+    tt = t.transpose(0, 2, 1)                           # (B, K, P)
+    z = tt @ w_latent.data + b_latent.data              # (B, K, R)
+    out_data = np.ascontiguousarray(z.transpose(0, 2, 1))
+    k = t.shape[-1]
+    rank = w_latent.shape[-1]
+
+    def backward(grad: np.ndarray) -> None:
+        gz = grad.transpose(0, 2, 1)                    # (B, K, R)
+        if w_latent.requires_grad or b_latent.requires_grad:
+            gz2 = gz.reshape(-1, rank)
+            if w_latent.requires_grad:
+                w_latent._accumulate(
+                    tt.reshape(-1, tt.shape[-1]).T @ gz2)
+            if b_latent.requires_grad:
+                b_latent._accumulate(gz2.sum(axis=0))
+        dt = np.matmul(gz, w_latent.data.T).transpose(0, 2, 1)  # (B, P, K)
+        if w_buckets.requires_grad or b_buckets.requires_grad:
+            dt2 = dt.reshape(-1, k)
+            if w_buckets.requires_grad:
+                w_buckets._accumulate(
+                    x.data.reshape(-1, x.shape[-1]).T @ dt2)
+            if b_buckets.requires_grad:
+                b_buckets._accumulate(dt2.sum(axis=0))
+        if x.requires_grad:
+            x._accumulate(np.matmul(dt, w_buckets.data.T))
+
+    return Tensor._make(out_data,
+                        (x, w_buckets, b_buckets, w_latent, b_latent),
+                        backward)
+
+
+def fused_latent_head_reference(x: Tensor, w_buckets: Tensor,
+                                b_buckets: Tensor, w_latent: Tensor,
+                                b_latent: Tensor) -> Tensor:
+    """Unfused latent head from primitive ops (ground truth)."""
+    x = _ensure_tensor(x)
+    t = x.matmul(w_buckets) + b_buckets
+    t = t.transpose((0, 2, 1))
+    z = t.matmul(w_latent) + b_latent
+    return z.transpose((0, 2, 1))
+
+
+# ----------------------------------------------------------------------
+# Fused GRU cell (gates of paper §IV-C / Eqs. 7-10 gate structure)
+# ----------------------------------------------------------------------
+def fused_gru_gates(x: Tensor, h: Tensor,
+                    w_reset: Tensor, b_reset: Tensor,
+                    w_update: Tensor, b_update: Tensor,
+                    w_cand: Tensor, b_cand: Tensor) -> Tensor:
+    """Whole dense GRU cell update as one graph node.
+
+    Computes ``r = σ([h,x] W_r + b_r)``, ``u = σ([h,x] W_u + b_u)``,
+    ``c = tanh([r·h, x] W_c + b_c)``, ``h' = u·h + (1-u)·c`` — the
+    concatenations, three matmuls, biases, nonlinearities and the state
+    blend — with a single hand-written backward.  ``x`` is
+    ``(..., input)``, ``h`` is ``(..., hidden)``.
+    """
+    if not fused_enabled():
+        return fused_gru_gates_reference(x, h, w_reset, b_reset, w_update,
+                                         b_update, w_cand, b_cand)
+    x, h = _ensure_tensor(x), _ensure_tensor(h)
+    params = (w_reset, b_reset, w_update, b_update, w_cand, b_cand)
+    wr, br, wu, bu, wc, bc = (p.data for p in params)
+    hidden = h.shape[-1]
+    hx = np.concatenate([h.data, x.data], axis=-1)
+    r = _stable_sigmoid(hx @ wr + br)
+    u = _stable_sigmoid(hx @ wu + bu)
+    rhx = np.concatenate([r * h.data, x.data], axis=-1)
+    c = np.tanh(rhx @ wc + bc)
+    out_data = u * h.data + (1.0 - u) * c
+
+    def backward(grad: np.ndarray) -> None:
+        joint = hx.shape[-1]
+        # Blend: h' = u*h + (1-u)*c.
+        dpre_c = (grad * (1.0 - u)) * (1.0 - c * c)         # tanh'
+        dh = grad * u
+        dpre_u = (grad * (h.data - c)) * u * (1.0 - u)      # sigmoid'
+        # Candidate branch through rhx = [r*h, x].
+        drhx = dpre_c @ wc.T
+        drh = drhx[..., :hidden]
+        dpre_r = (drh * h.data) * r * (1.0 - r)
+        dh += drh * r
+        # Gate branch through hx = [h, x].
+        dhx = dpre_r @ wr.T
+        dhx += dpre_u @ wu.T
+        if h.requires_grad:
+            h._accumulate(dh + dhx[..., :hidden])
+        if x.requires_grad:
+            x._accumulate(drhx[..., hidden:] + dhx[..., hidden:])
+        if any(p.requires_grad for p in params):
+            # Weight gradients flatten leading dims into one GEMM each.
+            hx2 = hx.reshape(-1, joint)
+            rhx2 = rhx.reshape(-1, joint)
+            lead = tuple(range(grad.ndim - 1))
+            if w_reset.requires_grad:
+                w_reset._accumulate(hx2.T @ dpre_r.reshape(-1, hidden))
+            if b_reset.requires_grad:
+                b_reset._accumulate(dpre_r.sum(axis=lead))
+            if w_update.requires_grad:
+                w_update._accumulate(hx2.T @ dpre_u.reshape(-1, hidden))
+            if b_update.requires_grad:
+                b_update._accumulate(dpre_u.sum(axis=lead))
+            if w_cand.requires_grad:
+                w_cand._accumulate(rhx2.T @ dpre_c.reshape(-1, hidden))
+            if b_cand.requires_grad:
+                b_cand._accumulate(dpre_c.sum(axis=lead))
+
+    return Tensor._make(out_data, (x, h) + params, backward)
+
+
+def fused_gru_gates_reference(x: Tensor, h: Tensor,
+                              w_reset: Tensor, b_reset: Tensor,
+                              w_update: Tensor, b_update: Tensor,
+                              w_cand: Tensor, b_cand: Tensor) -> Tensor:
+    """Unfused GRU cell from primitive ops (ground truth)."""
+    x, h = _ensure_tensor(x), _ensure_tensor(h)
+    hx = concat([h, x], axis=-1)
+    reset = sigmoid(hx.matmul(w_reset) + b_reset)
+    update = sigmoid(hx.matmul(w_update) + b_update)
+    rhx = concat([reset * h, x], axis=-1)
+    candidate = tanh(rhx.matmul(w_cand) + b_cand)
+    return update * h + (1.0 - update) * candidate
+
+
+# ----------------------------------------------------------------------
+# Whole CNRNN cell (paper Eqs. 7-10)
+# ----------------------------------------------------------------------
+def fused_cnrnn_cell(lap: Union[Tensor, np.ndarray], x: Tensor, h: Tensor,
+                     w_reset: Tensor, b_reset: Tensor,
+                     w_update: Tensor, b_update: Tensor,
+                     w_cand: Tensor, b_cand: Tensor, order: int) -> Tensor:
+    """One graph-convolutional GRU step (Eqs. 7-10) as a single node.
+
+    The graph analog of :func:`fused_gru_gates`: the concatenations, the
+    three gate *graph convolutions* (all on the same Laplacian, so the
+    reset/update mixes share one GEMM against the horizontally stacked
+    weights), the nonlinearities, and the Eq. 10 state blend all run in
+    raw numpy with one hand-written backward.  ``x (B, N, C_in)``,
+    ``h (B, N, H)`` → ``(B, N, H)``.
+    """
+    if not fused_enabled():
+        return fused_cnrnn_cell_reference(lap, x, h, w_reset, b_reset,
+                                          w_update, b_update, w_cand,
+                                          b_cand, order)
+    x, h = _ensure_tensor(x), _ensure_tensor(h)
+    params = (w_reset, b_reset, w_update, b_update, w_cand, b_cand)
+    lap_data = _constant_array(lap)
+    batch, n, cx = x.shape
+    hidden = h.shape[-1]
+    joint = hidden + cx
+    hx = np.concatenate([h.data, x.data], axis=-1)
+    f_hx = _cheb_feats(_cheb_terms(lap_data, hx, order), order)
+    w_ru = np.concatenate([w_reset.data, w_update.data], axis=1)
+    b_ru = np.concatenate([b_reset.data, b_update.data])
+    pre_ru = f_hx @ w_ru                                # (B*N, 2H)
+    ru = _stable_sigmoid(pre_ru.reshape(batch, n, 2 * hidden) + b_ru)
+    r, u = ru[..., :hidden], ru[..., hidden:]
+    rhx = np.concatenate([r * h.data, x.data], axis=-1)
+    f_rhx = _cheb_feats(_cheb_terms(lap_data, rhx, order), order)
+    c = np.tanh((f_rhx @ w_cand.data)
+                .reshape(batch, n, hidden) + b_cand.data)
+    hmc = h.data - c
+    out_data = c + u * hmc                              # Eq. 10 blend
+    lap_t = lap_data.T
+
+    def backward(grad: np.ndarray) -> None:
+        # Eq. 10 blend and the two nonlinearities (σ' for both gates in
+        # one pass over the joined r|u block).
+        dh = grad * u
+        dpre_c = (grad - dh) * (1.0 - c * c)
+        dru = ru * (1.0 - ru)
+        dpre_u = (grad * hmc) * dru[..., hidden:]
+        # Candidate convolution adjoint (through rhx = [r·h, x]).
+        dpre_c_flat = dpre_c.reshape(batch * n, hidden)
+        if w_cand.requires_grad:
+            w_cand._accumulate(f_rhx.T @ dpre_c_flat)
+        if b_cand.requires_grad:
+            b_cand._accumulate(dpre_c_flat.sum(axis=0))
+        drhx = _cheb_adjoint(lap_t, dpre_c_flat, w_cand.data,
+                             (batch, n, joint), order)
+        drh = drhx[..., :hidden]
+        dpre_r = (drh * h.data) * dru[..., :hidden]
+        dh += drh * r
+        # Gate convolutions' adjoint (shared GEMMs through hx = [h, x]).
+        dpre_ru_flat = np.concatenate(
+            [dpre_r.reshape(batch * n, hidden),
+             dpre_u.reshape(batch * n, hidden)], axis=1)
+        if w_reset.requires_grad or w_update.requires_grad:
+            dw_ru = f_hx.T @ dpre_ru_flat
+            if w_reset.requires_grad:
+                w_reset._accumulate(dw_ru[:, :hidden])
+            if w_update.requires_grad:
+                w_update._accumulate(dw_ru[:, hidden:])
+        if b_reset.requires_grad or b_update.requires_grad:
+            db_ru = dpre_ru_flat.sum(axis=0)
+            if b_reset.requires_grad:
+                b_reset._accumulate(db_ru[:hidden])
+            if b_update.requires_grad:
+                b_update._accumulate(db_ru[hidden:])
+        dhx = _cheb_adjoint(lap_t, dpre_ru_flat, w_ru,
+                            (batch, n, joint), order)
+        if h.requires_grad:
+            h._accumulate(dh + dhx[..., :hidden])
+        if x.requires_grad:
+            x._accumulate(drhx[..., hidden:] + dhx[..., hidden:])
+
+    return Tensor._make(out_data, (x, h) + params, backward)
+
+
+def fused_cnrnn_cell_reference(lap: Union[Tensor, np.ndarray], x: Tensor,
+                               h: Tensor,
+                               w_reset: Tensor, b_reset: Tensor,
+                               w_update: Tensor, b_update: Tensor,
+                               w_cand: Tensor, b_cand: Tensor,
+                               order: int) -> Tensor:
+    """Unfused CNRNN step from primitive ops (ground truth)."""
+    x, h = _ensure_tensor(x), _ensure_tensor(h)
+    hx = concat([h, x], axis=-1)
+    reset = sigmoid(cheb_conv_reference(lap, hx, w_reset, b_reset, order))
+    update = sigmoid(cheb_conv_reference(lap, hx, w_update, b_update,
+                                         order))
+    rhx = concat([reset * h, x], axis=-1)
+    candidate = tanh(cheb_conv_reference(lap, rhx, w_cand, b_cand, order))
+    return update * h + (1.0 - update) * candidate
+
+
+# ----------------------------------------------------------------------
+# Twin CNRNN kernels: both factor RNNs of the AF in one stacked call
+# ----------------------------------------------------------------------
+def fused_twin_cheb_conv(lap2: np.ndarray, x: Tensor,
+                         w_a: Tensor, b_a: Tensor,
+                         w_b: Tensor, b_b: Tensor, order: int) -> Tensor:
+    """Two same-shaped Cheby-Net convolutions as one batched node.
+
+    ``x (2, B, N, C)`` carries two independent graph signals; side 0 is
+    convolved with ``(w_a, b_a)`` on ``lap2[0]``, side 1 with
+    ``(w_b, b_b)`` on ``lap2[1]`` — one batched GEMM each for the mix,
+    the weight gradients, and the adjoint seed.  Used by
+    :func:`repro.core.cnrnn.twin_forecast` for the AF's decoder
+    projections.
+    """
+    x = _ensure_tensor(x)
+    two, batch, n, channels = x.shape
+    lap_b = _constant_array(lap2)[:, None]              # (2, 1, N, N)
+    q = w_a.shape[-1]
+    feats = _cheb_feats(_cheb_terms(lap_b, x.data, order), order)
+    w2 = np.stack([w_a.data, w_b.data])                 # (2, C·S, Q)
+    b2 = np.stack([b_a.data, b_b.data])                 # (2, Q)
+    out_data = np.matmul(feats, w2).reshape(two, batch, n, q) \
+        + b2[:, None, None]
+    lap_t = np.swapaxes(lap_b, -1, -2)
+
+    def backward(grad: np.ndarray) -> None:
+        gm = grad.reshape(two, batch * n, q)
+        if w_a.requires_grad or w_b.requires_grad:
+            dw = np.matmul(np.swapaxes(feats, -1, -2), gm)
+            if w_a.requires_grad:
+                w_a._accumulate(dw[0])
+            if w_b.requires_grad:
+                w_b._accumulate(dw[1])
+        if b_a.requires_grad or b_b.requires_grad:
+            db = gm.sum(axis=1)
+            if b_a.requires_grad:
+                b_a._accumulate(db[0])
+            if b_b.requires_grad:
+                b_b._accumulate(db[1])
+        if x.requires_grad:
+            x._accumulate(_cheb_adjoint(
+                lap_t, gm, w2, (two, batch, n, channels), order))
+
+    return Tensor._make(out_data, (x, w_a, b_a, w_b, b_b), backward)
+
+
+def fused_twin_cnrnn_cell(lap2: np.ndarray, x: Tensor, h: Tensor,
+                          params_a: Sequence[Tensor],
+                          params_b: Sequence[Tensor],
+                          order: int) -> Tensor:
+    """Two architecture-identical CNRNN steps as one stacked node.
+
+    The AF forecasts its two factor sequences with independent CNRNNs
+    whose cells have identical shapes; stacking both sides into
+    ``x (2, B, N, C)`` / ``h (2, B, N, H)`` lets every gate GEMM run
+    batched over the pair (halving the per-step dispatch overhead of
+    :func:`fused_cnrnn_cell`, whose math this mirrors exactly).
+    ``params_a``/``params_b`` are each
+    ``(w_reset, b_reset, w_update, b_update, w_cand, b_cand)``;
+    ``lap2 (2, N, N)`` holds each side's scaled Laplacian.
+    """
+    x, h = _ensure_tensor(x), _ensure_tensor(h)
+    w_reset_a, b_reset_a, w_update_a, b_update_a, w_cand_a, b_cand_a = \
+        params_a
+    w_reset_b, b_reset_b, w_update_b, b_update_b, w_cand_b, b_cand_b = \
+        params_b
+    lap_b = _constant_array(lap2)[:, None]              # (2, 1, N, N)
+    two, batch, n, cx = x.shape
+    hidden = h.shape[-1]
+    joint = hidden + cx
+    hx = np.concatenate([h.data, x.data], axis=-1)      # (2, B, N, J)
+    f_hx = _cheb_feats(_cheb_terms(lap_b, hx, order), order)
+    w_ru = np.stack([
+        np.concatenate([w_reset_a.data, w_update_a.data], axis=1),
+        np.concatenate([w_reset_b.data, w_update_b.data], axis=1)])
+    b_ru = np.stack([
+        np.concatenate([b_reset_a.data, b_update_a.data]),
+        np.concatenate([b_reset_b.data, b_update_b.data])])
+    pre_ru = np.matmul(f_hx, w_ru)                      # (2, B·N, 2H)
+    ru = _stable_sigmoid(pre_ru.reshape(two, batch, n, 2 * hidden)
+                         + b_ru[:, None, None])
+    r, u = ru[..., :hidden], ru[..., hidden:]
+    rhx = np.concatenate([r * h.data, x.data], axis=-1)
+    f_rhx = _cheb_feats(_cheb_terms(lap_b, rhx, order), order)
+    w_cand = np.stack([w_cand_a.data, w_cand_b.data])
+    b_cand = np.stack([b_cand_a.data, b_cand_b.data])
+    c = np.tanh(np.matmul(f_rhx, w_cand)
+                .reshape(two, batch, n, hidden) + b_cand[:, None, None])
+    hmc = h.data - c
+    out_data = c + u * hmc                              # Eq. 10 blend
+    lap_t = np.swapaxes(lap_b, -1, -2)
+
+    def backward(grad: np.ndarray) -> None:
+        # Same adjoint as fused_cnrnn_cell, with one leading pair axis;
+        # per-parameter gradients are contiguous slabs/slices of the
+        # stacked results.
+        dh = grad * u
+        dpre_c = (grad - dh) * (1.0 - c * c)
+        dru = ru * (1.0 - ru)
+        dpre_u = (grad * hmc) * dru[..., hidden:]
+        dpre_c_flat = dpre_c.reshape(two, batch * n, hidden)
+        if w_cand_a.requires_grad or w_cand_b.requires_grad:
+            dw_cand = np.matmul(np.swapaxes(f_rhx, -1, -2), dpre_c_flat)
+            if w_cand_a.requires_grad:
+                w_cand_a._accumulate(dw_cand[0])
+            if w_cand_b.requires_grad:
+                w_cand_b._accumulate(dw_cand[1])
+        if b_cand_a.requires_grad or b_cand_b.requires_grad:
+            db_cand = dpre_c_flat.sum(axis=1)
+            if b_cand_a.requires_grad:
+                b_cand_a._accumulate(db_cand[0])
+            if b_cand_b.requires_grad:
+                b_cand_b._accumulate(db_cand[1])
+        drhx = _cheb_adjoint(lap_t, dpre_c_flat, w_cand,
+                             (two, batch, n, joint), order)
+        drh = drhx[..., :hidden]
+        dpre_r = (drh * h.data) * dru[..., :hidden]
+        dh += drh * r
+        dpre_ru_flat = np.concatenate(
+            [dpre_r.reshape(two, batch * n, hidden),
+             dpre_u.reshape(two, batch * n, hidden)], axis=-1)
+        if w_reset_a.requires_grad or w_update_a.requires_grad \
+                or w_reset_b.requires_grad or w_update_b.requires_grad:
+            dw_ru = np.matmul(np.swapaxes(f_hx, -1, -2), dpre_ru_flat)
+            for side, (w_r, w_u) in enumerate(
+                    [(w_reset_a, w_update_a), (w_reset_b, w_update_b)]):
+                if w_r.requires_grad:
+                    w_r._accumulate(dw_ru[side, :, :hidden])
+                if w_u.requires_grad:
+                    w_u._accumulate(dw_ru[side, :, hidden:])
+        if b_reset_a.requires_grad or b_update_a.requires_grad \
+                or b_reset_b.requires_grad or b_update_b.requires_grad:
+            db_ru = dpre_ru_flat.sum(axis=1)
+            for side, (bias_r, bias_u) in enumerate(
+                    [(b_reset_a, b_update_a), (b_reset_b, b_update_b)]):
+                if bias_r.requires_grad:
+                    bias_r._accumulate(db_ru[side, :hidden])
+                if bias_u.requires_grad:
+                    bias_u._accumulate(db_ru[side, hidden:])
+        dhx = _cheb_adjoint(lap_t, dpre_ru_flat, w_ru,
+                            (two, batch, n, joint), order)
+        if h.requires_grad:
+            h._accumulate(dh + dhx[..., :hidden])
+        if x.requires_grad:
+            x._accumulate(drhx[..., hidden:] + dhx[..., hidden:])
+
+    return Tensor._make(out_data,
+                        (x, h) + tuple(params_a) + tuple(params_b),
+                        backward)
+
+
+def fused_twin_gcnn_stage(lap2: np.ndarray, x: Tensor,
+                          w_a: Tensor, b_a: Tensor,
+                          w_b: Tensor, b_b: Tensor, order: int,
+                          stride: int = 1, perm: np.ndarray = None,
+                          inv_counts: np.ndarray = None) -> Tensor:
+    """Two same-shaped factorizer stages as one stacked node.
+
+    The pair-axis analog of :func:`fused_gcnn_stage`: ``x (2, B, N, C)``
+    holds both sides' slice batches, ``lap2 (2, N, N)`` their scaled
+    Laplacians, and the conv weights run as batched GEMMs.  The pooling
+    layout (``stride``/``perm``/``inv_counts``) must be shared by both
+    sides — the caller verifies the coarsenings agree.
+    """
+    x = _ensure_tensor(x)
+    lap_b = _constant_array(lap2)[:, None]              # (2, 1, N, N)
+    two, batch, n, channels = x.shape
+    q = w_a.shape[-1]
+    feats = _cheb_feats(_cheb_terms(lap_b, x.data, order), order)
+    w2 = np.stack([w_a.data, w_b.data])                 # (2, C·S, Q)
+    b2 = np.stack([b_a.data, b_b.data])
+    act = np.matmul(feats, w2).reshape(two, batch, n, q)
+    act += b2[:, None, None]
+    np.maximum(act, 0.0, out=act)
+    if perm is not None:
+        real = perm < n
+        pooled_src = np.zeros((two, batch, perm.size, q), dtype=act.dtype)
+        pooled_src[:, :, real] = act[:, :, perm[real]]
+        inverse = np.empty(n, dtype=np.intp)
+        inverse[perm[real]] = np.nonzero(real)[0]
+        cluster_of_node = inverse // stride
+    else:
+        pooled_src = act
+        cluster_of_node = np.arange(n, dtype=np.intp) // stride
+    if stride > 1:
+        m = pooled_src.shape[2]
+        scale = inv_counts.astype(act.dtype, copy=False)[:, None]
+        out_data = pooled_src.reshape(two, batch, m // stride, stride,
+                                      q).sum(axis=3)
+        out_data *= scale
+    else:
+        out_data = pooled_src
+    lap_t = np.swapaxes(lap_b, -1, -2)
+
+    def backward(grad: np.ndarray) -> None:
+        if stride > 1:
+            scaled = grad * scale
+            dact = scaled[:, :, cluster_of_node]
+            dact *= act > 0                             # ReLU mask, in place
+        elif perm is not None:
+            dact = grad[:, :, cluster_of_node]
+            dact *= act > 0
+        else:
+            dact = grad * (act > 0)
+        gm = dact.reshape(two, batch * n, q)
+        if w_a.requires_grad or w_b.requires_grad:
+            dw = np.matmul(np.swapaxes(feats, -1, -2), gm)
+            if w_a.requires_grad:
+                w_a._accumulate(dw[0])
+            if w_b.requires_grad:
+                w_b._accumulate(dw[1])
+        if b_a.requires_grad or b_b.requires_grad:
+            db = gm.sum(axis=1)
+            if b_a.requires_grad:
+                b_a._accumulate(db[0])
+            if b_b.requires_grad:
+                b_b._accumulate(db[1])
+        if x.requires_grad:
+            x._accumulate(_cheb_adjoint(
+                lap_t, gm, w2, (two, batch, n, channels), order))
+
+    return Tensor._make(out_data, (x, w_a, b_a, w_b, b_b), backward)
+
+
+def fused_twin_latent_head(x: Tensor,
+                           head_a: Sequence[Tensor],
+                           head_b: Sequence[Tensor]) -> Tensor:
+    """Both factorizers' two-GEMM latent heads as one stacked node.
+
+    The pair-axis analog of :func:`fused_latent_head`: ``x (2, B, P, C)``
+    → ``(2, B, R, K)``.  ``head_a``/``head_b`` are each
+    ``(w_buckets, b_buckets, w_latent, b_latent)``.
+    """
+    x = _ensure_tensor(x)
+    wb_a, bb_a, wl_a, bl_a = head_a
+    wb_b, bb_b, wl_b, bl_b = head_b
+    w_buckets = np.stack([wb_a.data, wb_b.data])[:, None]   # (2, 1, C, K)
+    b_buckets = np.stack([bb_a.data, bb_b.data])
+    w_latent = np.stack([wl_a.data, wl_b.data])[:, None]    # (2, 1, P, R)
+    b_latent = np.stack([bl_a.data, bl_b.data])
+    t = np.matmul(x.data, w_buckets) + b_buckets[:, None, None]
+    tt = np.swapaxes(t, -1, -2)                             # (2, B, K, P)
+    z = np.matmul(tt, w_latent) + b_latent[:, None, None]
+    out_data = np.ascontiguousarray(np.swapaxes(z, -1, -2))
+    k = t.shape[-1]
+    rank = z.shape[-1]
+
+    def backward(grad: np.ndarray) -> None:
+        gz = np.swapaxes(grad, -1, -2)                      # (2, B, K, R)
+        gz2 = gz.reshape(2, -1, rank)
+        if wl_a.requires_grad or wl_b.requires_grad:
+            dwl = np.matmul(
+                np.swapaxes(tt.reshape(2, -1, tt.shape[-1]), -1, -2), gz2)
+            if wl_a.requires_grad:
+                wl_a._accumulate(dwl[0])
+            if wl_b.requires_grad:
+                wl_b._accumulate(dwl[1])
+        if bl_a.requires_grad or bl_b.requires_grad:
+            dbl = gz2.sum(axis=1)
+            if bl_a.requires_grad:
+                bl_a._accumulate(dbl[0])
+            if bl_b.requires_grad:
+                bl_b._accumulate(dbl[1])
+        dt = np.swapaxes(
+            np.matmul(gz, np.swapaxes(w_latent, -1, -2)), -1, -2)
+        dt2 = dt.reshape(2, -1, k)
+        if wb_a.requires_grad or wb_b.requires_grad:
+            dwb = np.matmul(
+                np.swapaxes(x.data.reshape(2, -1, x.shape[-1]), -1, -2),
+                dt2)
+            if wb_a.requires_grad:
+                wb_a._accumulate(dwb[0])
+            if wb_b.requires_grad:
+                wb_b._accumulate(dwb[1])
+        if bb_a.requires_grad or bb_b.requires_grad:
+            dbb = dt2.sum(axis=1)
+            if bb_a.requires_grad:
+                bb_a._accumulate(dbb[0])
+            if bb_b.requires_grad:
+                bb_b._accumulate(dbb[1])
+        if x.requires_grad:
+            x._accumulate(np.matmul(dt, np.swapaxes(w_buckets, -1, -2)))
+
+    return Tensor._make(out_data,
+                        (x,) + tuple(head_a) + tuple(head_b), backward)
+
+
+# ----------------------------------------------------------------------
+# Recovery (paper §IV-D: per-bucket R @ C + bucket-axis softmax)
+# ----------------------------------------------------------------------
+def fused_softmax_recovery(r_factors: Tensor, c_factors: Tensor) -> Tensor:
+    """Per-bucket factor product + bucket softmax as one node.
+
+    ``r_factors (..., N, β, K)`` and ``c_factors (..., β, N', K)`` →
+    ``(..., N, N', K)`` where cell ``(i, j)`` holds the softmax over the
+    ``K`` scores ``R[i, :, k] · C[:, j, k]``.  Backward applies the
+    closed-form softmax VJP ``s·(g - Σ g·s)`` followed by the two
+    batched matmul adjoints.
+    """
+    if not fused_enabled():
+        return fused_softmax_recovery_reference(r_factors, c_factors)
+    r, c = _ensure_tensor(r_factors), _ensure_tensor(c_factors)
+    if r.ndim < 3 or c.ndim < 3:
+        raise ValueError("factor tensors must have >= 3 dims")
+    # Buckets become the batch axis of one batched GEMM:
+    # (..., K, N, β) @ (..., K, β, N') -> (..., K, N, N').
+    rb = np.moveaxis(r.data, -1, -3)
+    cb = np.moveaxis(c.data, -1, -3)
+    raw = rb @ cb
+    scores = np.moveaxis(raw, -3, -1)
+    scores -= scores.max(axis=-1, keepdims=True)
+    np.exp(scores, out=scores)
+    scores /= scores.sum(axis=-1, keepdims=True)
+    out_data = np.ascontiguousarray(scores)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * out_data).sum(axis=-1, keepdims=True)
+        draw = out_data * (grad - dot)               # softmax VJP
+        draw_k = np.moveaxis(draw, -1, -3)           # (..., K, N, N')
+        if r.requires_grad:
+            dr = draw_k @ cb.swapaxes(-1, -2)        # (..., K, N, β)
+            r._accumulate(
+                _unbroadcast(np.moveaxis(dr, -3, -1), r.shape))
+        if c.requires_grad:
+            dc = rb.swapaxes(-1, -2) @ draw_k        # (..., K, β, N')
+            c._accumulate(
+                _unbroadcast(np.moveaxis(dc, -3, -1), c.shape))
+
+    return Tensor._make(out_data, (r, c), backward)
+
+
+def fused_softmax_recovery_reference(r_factors: Tensor,
+                                     c_factors: Tensor) -> Tensor:
+    """Unfused recovery from primitive ops (ground truth)."""
+    r, c = _ensure_tensor(r_factors), _ensure_tensor(c_factors)
+    ndim_r = r.ndim
+    r_bucket_first = r.transpose(
+        list(range(ndim_r - 3)) + [ndim_r - 1, ndim_r - 3, ndim_r - 2])
+    ndim_c = c.ndim
+    c_bucket_first = c.transpose(
+        list(range(ndim_c - 3)) + [ndim_c - 1, ndim_c - 3, ndim_c - 2])
+    raw = r_bucket_first.matmul(c_bucket_first)
+    ndim = raw.ndim
+    scores = raw.transpose(
+        list(range(ndim - 3)) + [ndim - 2, ndim - 1, ndim - 3])
+    return softmax(scores, axis=-1)
+
+
+# ----------------------------------------------------------------------
+# Masked Frobenius loss (paper Eq. 4's data term)
+# ----------------------------------------------------------------------
+def fused_masked_frobenius(prediction: Tensor, truth: np.ndarray,
+                           mask: np.ndarray) -> Tensor:
+    """``Σ ((pred - truth)·Ω)² / |Ω|`` as one node.
+
+    ``truth`` matches ``prediction (..., N, N', K)``; ``mask`` is the
+    indication tensor ``(..., N, N')``, broadcast over buckets.  The
+    normalizer is the observed-cell count (≥ 1), keeping the loss scale
+    independent of sparsity.
+    """
+    if not fused_enabled():
+        return fused_masked_frobenius_reference(prediction, truth, mask)
+    prediction = _ensure_tensor(prediction)
+    dtype = prediction.data.dtype
+    mask = np.asarray(mask, dtype=dtype)
+    weights = mask[..., None]
+    diff = (prediction.data - np.asarray(truth, dtype=dtype)) * weights
+    observed = max(float(mask.sum()), 1.0)
+    out_data = np.asarray((diff * diff).sum() / observed, dtype=dtype)
+
+    def backward(grad: np.ndarray) -> None:
+        if prediction.requires_grad:
+            # d/dpred of (w·(pred-truth))² is 2 w²(pred-truth) = 2 w·diff.
+            # _unbroadcast folds the gradient back onto prediction's
+            # shape when truth/mask broadcast against it.
+            prediction._accumulate(_unbroadcast(
+                (float(grad) * 2.0 / observed) * diff * weights,
+                prediction.shape))
+
+    return Tensor._make(out_data, (prediction,), backward)
+
+
+def fused_masked_frobenius_reference(prediction: Tensor, truth: np.ndarray,
+                                     mask: np.ndarray) -> Tensor:
+    """Unfused masked Frobenius loss (ground truth)."""
+    prediction = _ensure_tensor(prediction)
+    mask = np.asarray(mask, dtype=np.float64)
+    weights = Tensor(mask[..., None])
+    diff = (prediction - Tensor(np.asarray(truth))) * weights
+    observed = max(float(mask.sum()), 1.0)
+    return (diff * diff).sum() * (1.0 / observed)

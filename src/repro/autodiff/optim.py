@@ -73,6 +73,12 @@ class Adam(Optimizer):
         self._t += 1
         bias1 = 1.0 - self.beta1 ** self._t
         bias2 = 1.0 - self.beta2 ** self._t
+        # Bias corrections folded into scalars so the per-parameter work
+        # is a handful of in-place array ops:
+        #   lr·(m/bias1)/(sqrt(v/bias2)+eps)
+        #     = (lr/bias1)·m / (sqrt(v)/sqrt(bias2) + eps)
+        step_size = self.lr / bias1
+        inv_sqrt_bias2 = 1.0 / np.sqrt(bias2)
         for parameter, m, v in zip(self.parameters, self._m, self._v):
             if parameter.grad is None:
                 continue
@@ -82,10 +88,15 @@ class Adam(Optimizer):
             m *= self.beta1
             m += (1.0 - self.beta1) * grad
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            g2 = grad * grad
+            g2 *= (1.0 - self.beta2)
+            v += g2
+            denom = np.sqrt(v)
+            denom *= inv_sqrt_bias2
+            denom += self.eps
+            update = np.divide(m, denom, out=g2)
+            update *= step_size
+            parameter.data -= update
 
 
 def clip_grad_norm(parameters: Iterable[Parameter],

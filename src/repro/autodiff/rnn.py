@@ -47,13 +47,16 @@ class GRUCell(Module):
         self.b_cand = Parameter(np.zeros(hidden_size))
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
-        """One step: inputs ``x (batch, input)``, state ``h (batch, hidden)``."""
-        hx = ops.concat([h, x], axis=-1)
-        reset = ops.sigmoid(hx.matmul(self.w_reset) + self.b_reset)
-        update = ops.sigmoid(hx.matmul(self.w_update) + self.b_update)
-        rhx = ops.concat([reset * h, x], axis=-1)
-        candidate = ops.tanh(rhx.matmul(self.w_cand) + self.b_cand)
-        return update * h + (1.0 - update) * candidate
+        """One step: inputs ``x (batch, input)``, state ``h (batch, hidden)``.
+
+        The whole update — both concatenations, three gate matmuls,
+        nonlinearities, and the state blend — runs as one fused graph
+        node (:func:`repro.autodiff.ops.fused_gru_gates`); the primitive
+        composition is kept in ``fused_gru_gates_reference``.
+        """
+        return ops.fused_gru_gates(x, h, self.w_reset, self.b_reset,
+                                   self.w_update, self.b_update,
+                                   self.w_cand, self.b_cand)
 
     def initial_state(self, batch: int) -> Tensor:
         return Tensor(np.zeros((batch, self.hidden_size)))

@@ -414,6 +414,10 @@ class Tensor:
         if axes is None:
             inverse = None
         else:
+            # Normalize negative axes before inverting: argsort((0, -1, 1))
+            # would order the *raw* values and produce a wrong inverse
+            # permutation.
+            axes = tuple(int(a) % self.data.ndim for a in axes)
             inverse = np.argsort(axes)
 
         def backward(grad: np.ndarray) -> None:

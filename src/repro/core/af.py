@@ -17,7 +17,7 @@ import numpy as np
 from ..autodiff.layers import Dropout
 from ..autodiff.module import Module
 from ..autodiff.tensor import Tensor
-from .cnrnn import GraphSeq2Seq
+from .cnrnn import GraphSeq2Seq, twin_forecast
 from .recovery import recover
 from .spatial import (DEFAULT_BLOCKS, GCNNBlock, SpatialFactorizer,
                       factorize_tensor_batch)
@@ -106,9 +106,11 @@ class AdvancedFramework(Module):
         r_seq = self.drop_r(r_seq)
         c_seq = self.drop_c(c_seq)
 
-        # Stage 2: CNRNN forecasting of both factor sequences.
-        r_future = self.rnn_r(r_seq, horizon)
-        c_future = self.rnn_c(c_seq, horizon)
+        # Stage 2: CNRNN forecasting of both factor sequences (run as
+        # one stacked computation when the fused kernels are enabled and
+        # the two sides are architecture-identical).
+        r_future, c_future = twin_forecast(self.rnn_r, self.rnn_c,
+                                           r_seq, c_seq, horizon)
         r_factors = r_future.reshape(batch, horizon, n, self.rank, k)
         c_factors = c_future.reshape(batch, horizon, n_prime, self.rank, k)
         c_factors = c_factors.transpose((0, 1, 3, 2, 4))

@@ -16,6 +16,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..autodiff import ops
 from ..autodiff.tensor import Tensor
 from ..graph.energy import dirichlet_energy
 
@@ -27,12 +28,12 @@ def masked_frobenius(prediction: Tensor, truth: np.ndarray,
     ``prediction`` is ``(..., N, N', K)``; ``truth`` matches; ``mask`` is
     ``(..., N, N')``.  Normalizing by the observed-cell count (not the
     tensor size) keeps the loss scale independent of sparsity.
+
+    Evaluates as one fused graph node (see
+    ``ops.fused_masked_frobenius``); the primitive composition is kept
+    in ``ops.fused_masked_frobenius_reference``.
     """
-    mask = np.asarray(mask, dtype=np.float64)
-    weights = Tensor(mask[..., None])
-    diff = (prediction - Tensor(np.asarray(truth))) * weights
-    observed = max(float(mask.sum()), 1.0)
-    return (diff * diff).sum() * (1.0 / observed)
+    return ops.fused_masked_frobenius(prediction, truth, mask)
 
 
 def factor_frobenius(factors: Tensor) -> Tensor:

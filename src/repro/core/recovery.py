@@ -35,16 +35,7 @@ def recover(r_factors: Tensor, c_factors: Tensor) -> Tensor:
         raise ValueError(
             f"latent ranks differ: R has {r_factors.shape[-2]}, C has "
             f"{c_factors.shape[-3]}")
-    # Move buckets in front of the matmul axes: (..., K, N, beta) @
-    # (..., K, beta, N') -> (..., K, N, N').
-    ndim_r = r_factors.ndim
-    r_bucket_first = r_factors.transpose(
-        list(range(ndim_r - 3)) + [ndim_r - 1, ndim_r - 3, ndim_r - 2])
-    ndim_c = c_factors.ndim
-    c_bucket_first = c_factors.transpose(
-        list(range(ndim_c - 3)) + [ndim_c - 1, ndim_c - 3, ndim_c - 2])
-    raw = r_bucket_first.matmul(c_bucket_first)
-    ndim = raw.ndim
-    scores = raw.transpose(
-        list(range(ndim - 3)) + [ndim - 2, ndim - 1, ndim - 3])
-    return ops.softmax(scores, axis=-1)
+    # One fused node: per-bucket batched matmul + bucket-axis softmax
+    # with the closed-form softmax VJP (the unfused composition lives in
+    # ops.fused_softmax_recovery_reference).
+    return ops.fused_softmax_recovery(r_factors, c_factors)

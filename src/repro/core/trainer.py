@@ -90,7 +90,9 @@ class Trainer:
                     break
                 prediction, r, c = self.model(histories, horizon)
                 loss = self.loss_fn(prediction, targets, masks, r, c)
-                self.model.zero_grad()
+                # optimizer.zero_grad clears the cached parameter list
+                # directly instead of re-walking the module tree.
+                self.optimizer.zero_grad()
                 loss.backward()
                 if cfg.clip_norm:
                     clip_grad_norm(self.model.parameters(), cfg.clip_norm)

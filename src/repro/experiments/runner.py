@@ -4,12 +4,21 @@ This is the engine behind the Table II and figure benchmarks: it wires a
 city dataset through the windowing, fits every requested method once per
 ``s`` setting with the maximum horizon, and scores per-step KL/JS/EMD on
 the test windows — the protocol of the paper's §VI.
+
+Methods are independent once the data is prepared (every stochastic
+component draws from its own seeded generator), so the roster can train
+in parallel worker processes: pass ``n_jobs`` to :func:`run_comparison`
+or set ``REPRO_BENCH_JOBS``.  Results are bit-for-bit identical to a
+sequential run.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -124,18 +133,86 @@ class ComparisonResult:
         return "\n".join(lines)
 
 
+def _fit_and_score(name: str, factory: MethodFactory, data: ExperimentData,
+                   test: np.ndarray, truth: np.ndarray, masks: np.ndarray,
+                   keep_predictions: bool) -> MethodResult:
+    """Build, train, and evaluate one method (shared by both run modes)."""
+    windows, split = data.windows, data.split
+    h = windows.h
+    forecaster = factory(data)
+    start = time.time()
+    forecaster.fit(windows, split, horizon=h)
+    fit_seconds = time.time() - start
+    predictions = forecaster.predict(windows, test, horizon=h)
+    evaluation = evaluate_forecasts(truth, predictions, masks)
+    return MethodResult(
+        name=name, evaluation=evaluation, fit_seconds=fit_seconds,
+        # Stored as float32: kept predictions feed the figure
+        # groupings, where 1e-7 histogram error is immaterial, and a
+        # full-city test set is hundreds of MB in float64.
+        predictions=(predictions.astype(np.float32)
+                     if keep_predictions else None),
+        test_indices=test)
+
+
+# Worker-pool state: populated by the pool initializer.  The pool uses
+# the "fork" start method, so these objects (including the roster's
+# lambdas, which plain pickle could not ship) are inherited by the
+# children directly from the parent's memory — only the method *name*
+# travels through the task queue.
+_WORKER_STATE: dict = {}
+
+
+def _pool_init(data, methods, test, truth, masks, keep_predictions) -> None:
+    _WORKER_STATE.update(data=data, methods=methods, test=test, truth=truth,
+                         masks=masks, keep_predictions=keep_predictions)
+
+
+def _pool_fit(name: str) -> Tuple[str, MethodResult]:
+    s = _WORKER_STATE
+    return name, _fit_and_score(name, s["methods"][name], s["data"],
+                                s["test"], s["truth"], s["masks"],
+                                s["keep_predictions"])
+
+
+def resolve_n_jobs(n_jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit ``n_jobs``, else ``REPRO_BENCH_JOBS``.
+
+    Values < 1 mean "one process per roster method" (capped by CPU
+    count).  Parallelism needs the ``fork`` start method; where it is
+    unavailable the runner silently falls back to sequential execution.
+    """
+    if n_jobs is None:
+        raw = os.environ.get("REPRO_BENCH_JOBS", "1")
+        try:
+            n_jobs = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_BENCH_JOBS must be an integer, got {raw!r}"
+            ) from None
+    if n_jobs < 1:
+        n_jobs = os.cpu_count() or 1
+    if n_jobs > 1 and "fork" not in multiprocessing.get_all_start_methods():
+        return 1
+    return n_jobs
+
+
 def run_comparison(data: ExperimentData,
                    methods: Dict[str, MethodFactory],
                    keep_predictions: bool = False,
-                   max_test_windows: Optional[int] = None
+                   max_test_windows: Optional[int] = None,
+                   n_jobs: Optional[int] = None
                    ) -> ComparisonResult:
     """Fit and evaluate every method on the prepared data.
 
     Each method is trained with the dataset's full horizon ``h`` and
     scored per forecast step on the test windows, exactly once.
-    """
-    import time
 
+    ``n_jobs`` (default: the ``REPRO_BENCH_JOBS`` env var, else 1) trains
+    methods in that many parallel worker processes.  Every method seeds
+    its own generators, so parallel results match sequential ones
+    bit-for-bit; only the ``fit_seconds`` wall-clocks differ.
+    """
     windows, split = data.windows, data.split
     h = windows.h
     test = split.test
@@ -145,19 +222,20 @@ def run_comparison(data: ExperimentData,
         test = test[keep]
     _, truth, masks = windows.gather(test)
     outcome = ComparisonResult(s=windows.s, h=h)
-    for name, factory in methods.items():
-        forecaster = factory(data)
-        start = time.time()
-        forecaster.fit(windows, split, horizon=h)
-        fit_seconds = time.time() - start
-        predictions = forecaster.predict(windows, test, horizon=h)
-        evaluation = evaluate_forecasts(truth, predictions, masks)
-        outcome.methods[name] = MethodResult(
-            name=name, evaluation=evaluation, fit_seconds=fit_seconds,
-            # Stored as float32: kept predictions feed the figure
-            # groupings, where 1e-7 histogram error is immaterial, and a
-            # full-city test set is hundreds of MB in float64.
-            predictions=(predictions.astype(np.float32)
-                         if keep_predictions else None),
-            test_indices=test)
+    n_jobs = resolve_n_jobs(n_jobs)
+    names = list(methods)
+    if n_jobs > 1 and len(names) > 1:
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=min(n_jobs, len(names)),
+                      initializer=_pool_init,
+                      initargs=(data, methods, test, truth, masks,
+                                keep_predictions)) as pool:
+            fitted = dict(pool.map(_pool_fit, names, chunksize=1))
+        for name in names:                      # preserve roster order
+            outcome.methods[name] = fitted[name]
+    else:
+        for name in names:
+            outcome.methods[name] = _fit_and_score(
+                name, methods[name], data, test, truth, masks,
+                keep_predictions)
     return outcome

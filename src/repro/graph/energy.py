@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..autodiff import ops
 from ..autodiff.tensor import Tensor
 from .laplacian import laplacian
 
@@ -31,7 +32,39 @@ def dirichlet_energy(x: Tensor, weights: np.ndarray,
     Returns
     -------
     Scalar tensor ``sum(x^T L x)`` over all feature axes.
+
+    Evaluates as a single fused graph node when the fused kernels are
+    enabled (``repro.autodiff.ops.fused_enabled``); the primitive
+    composition is kept in :func:`dirichlet_energy_reference`.
     """
+    if not ops.fused_enabled():
+        return dirichlet_energy_reference(x, weights, node_axis)
+    lap = laplacian(weights)
+    axis = node_axis % x.ndim
+    if x.shape[axis] != lap.shape[0]:
+        raise ValueError(
+            f"signal has {x.shape[axis]} nodes on axis {axis}, graph has "
+            f"{lap.shape[0]}")
+    moved = np.moveaxis(x.data, axis, 0)
+    flat = moved.reshape(moved.shape[0], -1)
+    lx = lap @ flat
+    out_data = np.asarray((flat * lx).sum())
+
+    def backward(grad: np.ndarray) -> None:
+        if not x.requires_grad:
+            return
+        # d(xᵀLx) = (L + Lᵀ)x; the graph Laplacian is symmetric but the
+        # general adjoint costs the same here.
+        dflat = float(grad) * (lx + lap.T @ flat)
+        x._accumulate(np.moveaxis(
+            dflat.reshape(moved.shape), 0, axis))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def dirichlet_energy_reference(x: Tensor, weights: np.ndarray,
+                               node_axis: int = 0) -> Tensor:
+    """Unfused Dirichlet energy from primitive ops (ground truth)."""
     lap = Tensor(laplacian(weights))
     axis = node_axis % x.ndim
     if x.shape[axis] != lap.shape[0]:

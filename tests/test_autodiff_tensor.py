@@ -198,6 +198,20 @@ class TestShapeOps:
         assert a.T.shape == (4, 3, 2)
         check_gradients(lambda a: (a.transpose((2, 0, 1)) ** 2).sum(), [a])
 
+    def test_transpose_negative_axes_backward(self, rng):
+        """Regression: argsort on raw negative axes built a wrong inverse
+        permutation, scattering the gradient to the wrong axes."""
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        assert a.transpose((0, -1, 1)).shape == (2, 4, 3)
+        weights = rng.normal(size=(2, 4, 3))
+        loss = (a.transpose((0, -1, 1)) * Tensor(weights)).sum()
+        loss.backward()
+        assert np.allclose(a.grad, weights.transpose(0, 2, 1))
+        check_gradients(
+            lambda a: (a.transpose((0, -1, 1)) ** 2).sum(), [a])
+        check_gradients(
+            lambda a: (a.transpose((-1, -2, -3)) ** 3).sum(), [a])
+
     def test_swapaxes(self, rng):
         a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
         assert a.swapaxes(0, 2).shape == (4, 3, 2)
