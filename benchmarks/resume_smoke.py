@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Fast checkpoint/resume regression check for run_benchmarks.sh.
+
+Trains a small BF model for 2 epochs with checkpointing in a *child
+process that is killed afterwards* (a real mid-run death, not a polite
+return), resumes for the remaining epoch in this process, and asserts
+the final weights and loss curves are bit-identical to an uninterrupted
+3-epoch run.  Exits non-zero on any mismatch so checkpoint regressions
+fail the benchmark sweep loudly.
+
+Usage: PYTHONPATH=src python3 benchmarks/resume_smoke.py
+"""
+
+import multiprocessing
+import os
+import sys
+import tempfile
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import BasicFramework, TrainConfig, Trainer, bf_loss
+from repro.histograms import (WindowDataset, build_od_tensors,
+                              chronological_split)
+from repro.trips import toy_dataset
+
+EPOCHS = 3
+INTERRUPT_AFTER = 2
+CFG = dict(batch_size=8, max_train_batches=6, patience=10, seed=3)
+
+
+def _make_data():
+    dataset = toy_dataset(n_days=3, n_regions=12, seed=42)
+    sequence = build_od_tensors(dataset.trips, dataset.city,
+                                n_intervals=dataset.field.n_intervals)
+    windows = WindowDataset(sequence, s=3, h=2)
+    return windows, chronological_split(windows)
+
+
+def _make_trainer(epochs):
+    model = BasicFramework(12, 12, 7, np.random.default_rng(7), rank=3,
+                           encoder_dim=8, hidden_dim=12, dropout=0.2)
+    loss = lambda p, t, m, r, c: bf_loss(p, t, m, r, c, 1e-4, 1e-4)
+    return Trainer(model, loss, TrainConfig(epochs=epochs, **CFG))
+
+
+def _partial_run(checkpoint_dir):
+    """Child process: train INTERRUPT_AFTER epochs, then die abruptly."""
+    windows, split = _make_data()
+    trainer = _make_trainer(EPOCHS)
+    epochs_done = [0]
+
+    def count(event, fields):
+        if event == "checkpoint":
+            epochs_done[0] += 1
+            if epochs_done[0] >= INTERRUPT_AFTER:
+                os._exit(0)                      # simulate a hard crash
+
+    trainer.fit(windows, split, horizon=2, checkpoint_dir=checkpoint_dir,
+                telemetry=count)
+    os._exit(1)                                  # should never finish
+
+
+def main() -> int:
+    windows, split = _make_data()
+
+    baseline = _make_trainer(EPOCHS)
+    expected = baseline.fit(windows, split, horizon=2)
+
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None)
+        proc = ctx.Process(target=_partial_run, args=(checkpoint_dir,))
+        proc.start()
+        proc.join(timeout=300)
+        if proc.is_alive():
+            proc.terminate()
+            print("resume smoke: FAIL (partial run hung)")
+            return 1
+
+        resumed = _make_trainer(EPOCHS)
+        result = resumed.fit(windows, split, horizon=2,
+                             checkpoint_dir=checkpoint_dir, resume=True)
+
+    failures = []
+    if result.train_losses != expected.train_losses:
+        failures.append("train loss curves differ")
+    if result.val_losses != expected.val_losses:
+        failures.append("val loss curves differ")
+    state = resumed.model.state_dict()
+    expected_state = baseline.model.state_dict()
+    for name in expected_state:
+        if not np.array_equal(state[name], expected_state[name]):
+            failures.append(f"weights differ: {name}")
+            break
+    if failures:
+        print(f"resume smoke: FAIL ({'; '.join(failures)})")
+        return 1
+    print(f"resume smoke: OK (killed after epoch {INTERRUPT_AFTER}, "
+          f"resumed to epoch {EPOCHS}, weights and curves bit-identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

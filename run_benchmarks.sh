@@ -8,6 +8,11 @@ set -uo pipefail
 cd "$(dirname "$0")"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+# Fast checkpoint/resume regression gate: train 2 epochs, kill the
+# process, resume the third, assert bit-identical weights and curves.
+# Fails the sweep loudly if checkpointing regresses (~30s).
+python3 benchmarks/resume_smoke.py || exit 1
+
 # Kernel microbenchmarks first: fused vs. reference autodiff ops and
 # one AF/BF training step.  Writes BENCH_AUTODIFF.json at the repo root.
 python3 benchmarks/microbench.py \

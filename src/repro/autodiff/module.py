@@ -60,36 +60,55 @@ class Module:
 
     # ------------------------------------------------------------------
     def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
-        """Yield ``(qualified_name, parameter)`` for all owned weights."""
+        """Yield ``(qualified_name, parameter)`` for all owned weights.
+
+        A parameter reachable through several attributes (weight tying)
+        is yielded once, under the first name encountered, so optimizers
+        don't double-step it and ``num_parameters`` doesn't double-count.
+        """
+        yield from self._named_parameters(prefix, set())
+
+    def _named_parameters(self, prefix: str,
+                          seen: set) -> Iterator[Tuple[str, Parameter]]:
         for attr, value in vars(self).items():
             if attr.startswith("_") and attr != "_modules":
                 continue
             qualified = f"{prefix}{attr}"
             if isinstance(value, Parameter):
-                yield qualified, value
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    yield qualified, value
             elif isinstance(value, Module):
-                yield from value.named_parameters(prefix=f"{qualified}.")
+                yield from value._named_parameters(f"{qualified}.", seen)
             elif isinstance(value, (list, tuple)):
                 for i, item in enumerate(value):
                     if isinstance(item, Module):
-                        yield from item.named_parameters(
-                            prefix=f"{qualified}.{i}.")
+                        yield from item._named_parameters(
+                            f"{qualified}.{i}.", seen)
                     elif isinstance(item, Parameter):
-                        yield f"{qualified}.{i}", item
+                        if id(item) not in seen:
+                            seen.add(id(item))
+                            yield f"{qualified}.{i}", item
 
     def parameters(self) -> List[Parameter]:
         return [p for _, p in self.named_parameters()]
 
     def modules(self) -> Iterator["Module"]:
-        """Yield this module and all descendant modules."""
+        """Yield this module and all descendant modules, each once."""
+        yield from self._modules_impl(set())
+
+    def _modules_impl(self, seen: set) -> Iterator["Module"]:
+        if id(self) in seen:
+            return
+        seen.add(id(self))
         yield self
         for attr, value in vars(self).items():
             if isinstance(value, Module):
-                yield from value.modules()
+                yield from value._modules_impl(seen)
             elif isinstance(value, (list, tuple)):
                 for item in value:
                     if isinstance(item, Module):
-                        yield from item.modules()
+                        yield from item._modules_impl(seen)
 
     def zero_grad(self) -> None:
         for parameter in self.parameters():
@@ -114,7 +133,11 @@ class Module:
                 f"state dict mismatch; missing={sorted(missing)} "
                 f"unexpected={sorted(unexpected)}")
         for name, parameter in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            # Cast to the parameter's *existing* dtype: a float32 model
+            # must stay float32 through early-stopping restore and
+            # ``load_model``, and a float64 model must not silently
+            # truncate to a narrower saved dtype.
+            value = np.asarray(state[name], dtype=parameter.data.dtype)
             if value.shape != parameter.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: "

@@ -7,11 +7,25 @@ that schedule.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 import numpy as np
 
 from .module import Parameter
+
+
+def _check_slots(kind: str, saved: List[np.ndarray],
+                 parameters: List[Parameter]) -> None:
+    """Validate per-parameter state arrays against the live parameters."""
+    if len(saved) != len(parameters):
+        raise ValueError(
+            f"{kind} state has {len(saved)} slots for "
+            f"{len(parameters)} parameters")
+    for i, (array, parameter) in enumerate(zip(saved, parameters)):
+        if np.shape(array) != parameter.data.shape:
+            raise ValueError(
+                f"{kind} slot {i} shape {np.shape(array)} does not match "
+                f"parameter shape {parameter.data.shape}")
 
 
 class Optimizer:
@@ -29,6 +43,15 @@ class Optimizer:
     def zero_grad(self) -> None:
         for parameter in self.parameters:
             parameter.grad = None
+
+    # -- serialization -------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Mutable optimizer state (not the parameters themselves)."""
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore state saved by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
 
 
 class SGD(Optimizer):
@@ -53,6 +76,17 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             parameter.data -= self.lr * grad
+
+    def state_dict(self) -> Dict:
+        return {"lr": self.lr,
+                "velocity": [v.copy() for v in self._velocity]}
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        _check_slots("SGD velocity", state["velocity"], self.parameters)
+        self._velocity = [np.array(v, dtype=p.data.dtype)
+                          for v, p in zip(state["velocity"],
+                                          self.parameters)]
 
 
 class Adam(Optimizer):
@@ -98,6 +132,21 @@ class Adam(Optimizer):
             update *= step_size
             parameter.data -= update
 
+    def state_dict(self) -> Dict:
+        return {"lr": self.lr, "t": self._t,
+                "m": [m.copy() for m in self._m],
+                "v": [v.copy() for v in self._v]}
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        _check_slots("Adam m", state["m"], self.parameters)
+        _check_slots("Adam v", state["v"], self.parameters)
+        self._t = int(state["t"])
+        self._m = [np.array(m, dtype=p.data.dtype)
+                   for m, p in zip(state["m"], self.parameters)]
+        self._v = [np.array(v, dtype=p.data.dtype)
+                   for v, p in zip(state["v"], self.parameters)]
+
 
 def clip_grad_norm(parameters: Iterable[Parameter],
                    max_norm: float) -> float:
@@ -142,3 +191,21 @@ class StepDecay:
     @property
     def epoch(self) -> int:
         return self._epoch
+
+    # -- serialization -------------------------------------------------
+    def state_dict(self) -> Dict:
+        """JSON-safe snapshot of the schedule position and hyper-params."""
+        return {"epoch": self._epoch, "initial_lr": self._initial_lr,
+                "factor": self.factor, "every": self.every,
+                "min_lr": self.min_lr}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a snapshot; also re-applies the lr for that epoch."""
+        self._epoch = int(state["epoch"])
+        self._initial_lr = float(state["initial_lr"])
+        self.factor = float(state["factor"])
+        self.every = int(state["every"])
+        self.min_lr = float(state["min_lr"])
+        drops = self._epoch // self.every
+        self.optimizer.lr = max(self._initial_lr * self.factor ** drops,
+                                self.min_lr)

@@ -73,8 +73,22 @@ def cmd_compare(args) -> int:
     print(f"{args.city}: {len(dataset.trips):,} trips, "
           f"{len(data.windows)} windows, "
           f"{data.sequence.sparsity().mean():.1%} mean sparsity")
-    result = run_comparison(data, roster,
-                            max_test_windows=args.max_test_windows)
+    telemetry = None
+    if args.telemetry:
+        from .telemetry import TelemetryLogger
+        telemetry = TelemetryLogger(args.telemetry,
+                                    run_id=f"compare-{args.city}")
+    try:
+        result = run_comparison(data, roster,
+                                max_test_windows=args.max_test_windows,
+                                method_timeout=args.method_timeout,
+                                artifact_dir=args.artifact_dir,
+                                telemetry=telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    for name, error in result.failures().items():
+        print(f"method {name} failed: {error}", file=sys.stderr)
     print(result.format_table())
     from .viz import bar_chart
     print("\nOverall EMD (lower is better):")
@@ -163,6 +177,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="train in float32 (2x faster)")
     compare.add_argument("--out", default=None,
                          help="write the result rows as JSON")
+    compare.add_argument("--telemetry", default=None, metavar="FILE",
+                         help="append JSONL run events to FILE "
+                              "(see docs/CHECKPOINTING.md)")
+    compare.add_argument("--artifact-dir", default=None, metavar="DIR",
+                         help="persist per-method results in DIR and "
+                              "skip already-completed methods on rerun")
+    compare.add_argument("--method-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="kill and retry a method stuck longer "
+                              "than this")
     compare.set_defaults(fn=cmd_compare)
 
     sparse = sub.add_parser("sparseness", help="Fig. 7 style statistics")

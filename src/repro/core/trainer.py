@@ -3,12 +3,21 @@
 Implements the paper's published optimization recipe (§VI-A5): Adam with
 initial learning rate 0.001, decay ×0.8 every 5 epochs, dropout 0.2 in the
 models, early stopping on validation loss with best-weight restoration.
+
+Long runs are crash-safe: ``fit(checkpoint_dir=...)`` writes an atomic
+rolling checkpoint (model + optimizer + scheduler + curves + every RNG
+the loop consumes) plus a ``best.npz``, and ``resume=True`` continues an
+interrupted run with bit-identical final weights versus an uninterrupted
+one.  Per-epoch progress can be streamed as JSONL events through the
+optional ``telemetry`` hook (see :mod:`repro.telemetry`).
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -17,10 +26,15 @@ from ..autodiff.module import Module
 from ..autodiff.optim import Adam, StepDecay, clip_grad_norm
 from ..autodiff.tensor import Tensor
 from ..histograms.windows import Split, WindowDataset
+from ..telemetry import TelemetrySink, emit, peak_rss_mb
 from .losses import masked_frobenius
 
 LossFn = Callable[[Tensor, np.ndarray, np.ndarray,
                    Optional[Tensor], Optional[Tensor]], Tensor]
+
+#: Rolling-checkpoint and best-weights file names inside checkpoint_dir.
+CHECKPOINT_NAME = "checkpoint.npz"
+BEST_NAME = "best.npz"
 
 
 @dataclass
@@ -49,6 +63,24 @@ class TrainResult:
     best_epoch: int = -1
     best_val_loss: float = float("inf")
     seconds: float = 0.0
+    #: True when training stopped because validation loss went non-finite.
+    diverged: bool = False
+
+
+def _module_rngs(model: Module) -> List[np.random.Generator]:
+    """Every distinct Generator owned by the model's modules (dropout).
+
+    Discovery order is the deterministic module-tree walk, so states can
+    be saved and restored positionally across processes.
+    """
+    rngs, seen = [], set()
+    for module in model.modules():
+        for value in vars(module).values():
+            if isinstance(value, np.random.Generator) \
+                    and id(value) not in seen:
+                seen.add(id(value))
+                rngs.append(value)
+    return rngs
 
 
 class Trainer:
@@ -72,17 +104,44 @@ class Trainer:
                                    every=self.config.decay_every)
 
     # ------------------------------------------------------------------
-    def fit(self, dataset: WindowDataset, split: Split,
-            horizon: int) -> TrainResult:
+    def fit(self, dataset: WindowDataset, split: Split, horizon: int,
+            checkpoint_dir: Optional[str] = None,
+            checkpoint_every: int = 1, resume: bool = False,
+            telemetry: TelemetrySink = None) -> TrainResult:
+        """Train with early stopping; optionally crash-safe.
+
+        With ``checkpoint_dir`` set, a rolling ``checkpoint.npz`` is
+        written atomically every ``checkpoint_every`` epochs and
+        ``best.npz`` tracks the best validation weights.  ``resume=True``
+        picks up from the rolling checkpoint (if present) and produces
+        bit-identical final weights and loss curves versus a run that
+        was never interrupted.  ``telemetry`` receives the per-epoch
+        events documented in :mod:`repro.telemetry`.
+        """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         result = TrainResult()
         best_state = self.model.state_dict()
         stall = 0
-        start = time.time()
-        for epoch in range(cfg.epochs):
+        start_epoch = 0
+        checkpoint_path = best_path = None
+        if checkpoint_dir is not None:
+            directory = Path(checkpoint_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            checkpoint_path = directory / CHECKPOINT_NAME
+            best_path = directory / BEST_NAME
+            if resume and checkpoint_path.exists():
+                start_epoch, best_state, stall = self._restore(
+                    checkpoint_path, rng, result)
+        emit(telemetry, "fit_start", epochs=cfg.epochs,
+             start_epoch=start_epoch, n_train=len(split.train),
+             n_val=len(split.val))
+        start = time.time() - result.seconds    # accumulate across resumes
+        for epoch in range(start_epoch, cfg.epochs):
+            epoch_start = time.time()
             self.model.train()
             epoch_losses = []
+            grad_norms = []
             batches = dataset.batches(split.train, cfg.batch_size, rng=rng)
             for b, (histories, targets, masks) in enumerate(batches):
                 if cfg.max_train_batches is not None \
@@ -95,7 +154,8 @@ class Trainer:
                 self.optimizer.zero_grad()
                 loss.backward()
                 if cfg.clip_norm:
-                    clip_grad_norm(self.model.parameters(), cfg.clip_norm)
+                    grad_norms.append(clip_grad_norm(
+                        self.model.parameters(), cfg.clip_norm))
                 self.optimizer.step()
                 epoch_losses.append(loss.item())
             self.scheduler.step()
@@ -108,23 +168,95 @@ class Trainer:
             if cfg.verbose:
                 print(f"epoch {epoch + 1:3d}  train {train_loss:.5f}  "
                       f"val {val_loss:.5f}  lr {self.optimizer.lr:.2e}")
+            emit(telemetry, "epoch", epoch=epoch, train_loss=train_loss,
+                 val_loss=val_loss, lr=self.optimizer.lr,
+                 grad_norm=(float(np.mean(grad_norms))
+                            if grad_norms else None),
+                 seconds=time.time() - epoch_start,
+                 peak_rss_mb=peak_rss_mb())
+            if not np.isfinite(val_loss):
+                # A diverged run must not masquerade as a trained one:
+                # flag it, tell the caller, and stop consuming epochs.
+                result.diverged = True
+                warnings.warn(
+                    f"validation loss became non-finite ({val_loss}) at "
+                    f"epoch {epoch + 1}; stopping early and restoring "
+                    f"the best weights seen so far (epoch "
+                    f"{result.best_epoch + 1})", RuntimeWarning)
+                emit(telemetry, "divergence", epoch=epoch,
+                     val_loss=val_loss)
+                break
             if val_loss < result.best_val_loss - 1e-7:
                 result.best_val_loss = val_loss
                 result.best_epoch = epoch
                 best_state = self.model.state_dict()
                 stall = 0
+                if best_path is not None:
+                    from ..persistence import save_model
+                    save_model(self.model, best_path)
             else:
                 stall += 1
                 if stall >= cfg.patience:
+                    emit(telemetry, "early_stop", epoch=epoch, stall=stall)
                     break
+            if checkpoint_path is not None \
+                    and (epoch + 1) % max(checkpoint_every, 1) == 0:
+                result.seconds = time.time() - start
+                self._checkpoint(checkpoint_path, epoch, rng, result,
+                                 best_state, stall)
+                emit(telemetry, "checkpoint", epoch=epoch,
+                     path=str(checkpoint_path))
         self.model.load_state_dict(best_state)
         result.seconds = time.time() - start
+        emit(telemetry, "fit_end", epochs_run=len(result.val_losses),
+             best_epoch=result.best_epoch,
+             best_val_loss=result.best_val_loss, seconds=result.seconds,
+             diverged=result.diverged)
         return result
+
+    # ------------------------------------------------------------------
+    def _checkpoint(self, path: Path, epoch: int,
+                    rng: np.random.Generator, result: TrainResult,
+                    best_state: dict, stall: int) -> None:
+        """Write the rolling checkpoint (atomic; see persistence docs)."""
+        from ..persistence import save_checkpoint
+        save_checkpoint(
+            path, self.model, optimizer=self.optimizer,
+            scheduler=self.scheduler, epoch=epoch, result=result,
+            rng_state=rng.bit_generator.state, best_state=best_state,
+            extra={"stall": stall,
+                   "module_rng": [g.bit_generator.state
+                                  for g in _module_rngs(self.model)]})
+
+    def _restore(self, path: Path, rng: np.random.Generator,
+                 result: TrainResult):
+        """Load the rolling checkpoint into the live training objects."""
+        from ..persistence import load_checkpoint
+        checkpoint = load_checkpoint(path, model=self.model,
+                                     optimizer=self.optimizer,
+                                     scheduler=self.scheduler)
+        if checkpoint.rng_state is not None:
+            rng.bit_generator.state = checkpoint.rng_state
+        module_states = checkpoint.extra.get("module_rng", [])
+        for generator, state in zip(_module_rngs(self.model),
+                                    module_states):
+            generator.bit_generator.state = state
+        saved = checkpoint.result_state or {}
+        result.train_losses[:] = saved.get("train_losses", [])
+        result.val_losses[:] = saved.get("val_losses", [])
+        result.best_epoch = saved.get("best_epoch", -1)
+        result.best_val_loss = saved.get("best_val_loss", float("inf"))
+        result.seconds = saved.get("seconds", 0.0)
+        result.diverged = saved.get("diverged", False)
+        best_state = checkpoint.best_state or self.model.state_dict()
+        return checkpoint.epoch + 1, best_state, \
+            int(checkpoint.extra.get("stall", 0))
 
     # ------------------------------------------------------------------
     def evaluate(self, dataset: WindowDataset, indices: np.ndarray,
                  horizon: int, max_batches: Optional[int] = None) -> float:
         """Mean masked-Frobenius data loss over the given windows."""
+        was_training = self.model.training
         self.model.eval()
         losses = []
         batches = dataset.batches(indices, self.config.batch_size)
@@ -134,18 +266,21 @@ class Trainer:
             prediction, _, _ = self.model(histories, horizon)
             losses.append(masked_frobenius(prediction, targets,
                                            masks).item())
-        self.model.train()
+        if was_training:
+            self.model.train()
         return float(np.mean(losses)) if losses else float("nan")
 
     # ------------------------------------------------------------------
     def predict(self, dataset: WindowDataset, indices: np.ndarray,
                 horizon: int) -> np.ndarray:
         """Forecast tensors for the given windows, ``(B, h, N, N', K)``."""
+        was_training = self.model.training
         self.model.eval()
         outputs = []
         for histories, _, _ in dataset.batches(indices,
                                                self.config.batch_size):
             prediction, _, _ = self.model(histories, horizon)
             outputs.append(prediction.numpy())
-        self.model.train()
+        if was_training:
+            self.model.train()
         return np.concatenate(outputs, axis=0)

@@ -1,10 +1,18 @@
-"""Saving and loading models, tensor sequences, and result tables.
+"""Saving and loading models, checkpoints, tensor sequences, and results.
 
 Everything serializes to plain ``.npz``/JSON files so artifacts remain
 readable without this library:
 
 * model weights — ``save_model`` / ``load_model`` wrap the Module
   state-dict as an npz archive;
+* training checkpoints — ``save_checkpoint`` / ``load_checkpoint``
+  bundle model + optimizer + scheduler + learning curves + RNG state +
+  epoch into one atomic ``.npz`` artifact (arrays as npz entries, all
+  scalar/structured state as an embedded JSON record under the
+  ``__meta__`` key), written temp-then-rename so a crash mid-write
+  never corrupts the previous checkpoint;
+* per-method results — ``save_method_result`` / ``load_method_result``
+  make roster runs resumable (see ``run_comparison(artifact_dir=...)``);
 * OD tensor sequences — the expensive aggregation output can be cached
   to disk and reloaded for repeated experiments;
 * comparison results — exported as JSON rows for external plotting.
@@ -13,26 +21,56 @@ readable without this library:
 from __future__ import annotations
 
 import json
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from .autodiff.module import Module
-from .experiments.runner import ComparisonResult
+from .experiments.runner import ComparisonResult, MethodResult
 from .histograms.histogram import HistogramSpec
 from .histograms.tensor_builder import ODTensorSequence
+from .metrics.evaluation import EvaluationResult
 
 PathLike = Union[str, Path]
+
+#: Bumped when the on-disk checkpoint layout changes incompatibly.
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def _meta_json(meta: dict) -> np.ndarray:
+    """Encode a metadata dict as a uint8 JSON blob for an npz entry."""
+    def coerce(value):
+        if isinstance(value, np.generic):
+            return value.item()
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        raise TypeError(f"not JSON serializable: {type(value).__name__}")
+    return np.frombuffer(json.dumps(meta, default=coerce).encode("utf-8"),
+                         dtype=np.uint8)
+
+
+def _atomic_savez(path: Path, arrays: Dict[str, np.ndarray]) -> None:
+    """Write an ``.npz`` atomically: temp file in-dir, then rename."""
+    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 # ----------------------------------------------------------------------
 # models
 # ----------------------------------------------------------------------
 def save_model(model: Module, path: PathLike) -> None:
-    """Write a module's weights to an ``.npz`` archive."""
+    """Write a module's weights to an ``.npz`` archive (atomically)."""
     state = model.state_dict()
-    np.savez_compressed(str(path), **state)
+    _atomic_savez(Path(path), state)
 
 
 def load_model(model: Module, path: PathLike) -> Module:
@@ -48,10 +86,193 @@ def load_model(model: Module, path: PathLike) -> Module:
 
 
 # ----------------------------------------------------------------------
+# training checkpoints
+# ----------------------------------------------------------------------
+@dataclass
+class Checkpoint:
+    """A loaded training checkpoint (see :func:`save_checkpoint`)."""
+
+    epoch: int
+    model_state: Dict[str, np.ndarray]
+    optimizer_state: Optional[dict] = None
+    scheduler_state: Optional[dict] = None
+    rng_state: Optional[dict] = None
+    result_state: Optional[dict] = None
+    best_state: Optional[Dict[str, np.ndarray]] = None
+    extra: dict = field(default_factory=dict)
+
+
+def save_checkpoint(path: PathLike, model: Module, optimizer=None,
+                    scheduler=None, epoch: int = -1, result=None,
+                    rng_state: Optional[dict] = None,
+                    best_state: Optional[Dict[str, np.ndarray]] = None,
+                    extra: Optional[dict] = None) -> None:
+    """Bundle the full training state into one atomic ``.npz`` artifact.
+
+    Layout: model weights under ``model/<name>``, best-so-far weights
+    under ``best/<name>``, per-parameter optimizer slots under
+    ``optim/<slot>/<index>``, and everything scalar or structured
+    (epoch, optimizer/scheduler scalars, the shuffle RNG's
+    ``bit_generator.state``, the :class:`~repro.core.trainer.TrainResult`
+    fields, caller extras) as a JSON document in the ``__meta__`` entry.
+    The file is written to a temp name and renamed into place, so an
+    interrupted save leaves the previous checkpoint intact.
+
+    ``result`` may be a dataclass (e.g. ``TrainResult``) or a plain
+    dict; ``rng_state`` is ``rng.bit_generator.state``.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    meta: dict = {"format_version": CHECKPOINT_FORMAT_VERSION,
+                  "epoch": int(epoch)}
+    for name, value in model.state_dict().items():
+        arrays[f"model/{name}"] = value
+    if best_state is not None:
+        for name, value in best_state.items():
+            arrays[f"best/{name}"] = value
+    if optimizer is not None:
+        state = optimizer.state_dict()
+        scalars = {}
+        for key, value in state.items():
+            if isinstance(value, (list, tuple)):       # per-param slots
+                for i, slot in enumerate(value):
+                    arrays[f"optim/{key}/{i}"] = np.asarray(slot)
+            else:
+                scalars[key] = value
+        meta["optimizer"] = {"type": type(optimizer).__name__,
+                             "scalars": scalars}
+    if scheduler is not None:
+        meta["scheduler"] = scheduler.state_dict()
+    if rng_state is not None:
+        meta["rng_state"] = rng_state
+    if result is not None:
+        if not isinstance(result, dict):
+            from dataclasses import asdict
+            result = asdict(result)
+        meta["result"] = result
+    if extra:
+        meta["extra"] = extra
+    arrays["__meta__"] = _meta_json(meta)
+    _atomic_savez(Path(path), arrays)
+
+
+def load_checkpoint(path: PathLike, model: Optional[Module] = None,
+                    optimizer=None, scheduler=None) -> Checkpoint:
+    """Read a checkpoint; restore any of model/optimizer/scheduler in place.
+
+    Returns the full :class:`Checkpoint` so callers can also recover the
+    epoch counter, RNG state, learning curves, and best-so-far weights.
+    """
+    with np.load(str(path)) as archive:
+        entries = {name: archive[name] for name in archive.files}
+    if "__meta__" not in entries:
+        raise ValueError(f"{path} is not a checkpoint (missing __meta__)")
+    meta = json.loads(bytes(entries.pop("__meta__")).decode("utf-8"))
+    version = meta.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint format {version!r} "
+            f"(expected {CHECKPOINT_FORMAT_VERSION})")
+    model_state, best_state, optim_slots = {}, {}, {}
+    for name, value in entries.items():
+        kind, _, rest = name.partition("/")
+        if kind == "model":
+            model_state[rest] = value
+        elif kind == "best":
+            best_state[rest] = value
+        elif kind == "optim":
+            slot, _, index = rest.partition("/")
+            optim_slots.setdefault(slot, {})[int(index)] = value
+    optimizer_state = None
+    if "optimizer" in meta:
+        optimizer_state = dict(meta["optimizer"]["scalars"])
+        optimizer_state["type"] = meta["optimizer"]["type"]
+        for slot, indexed in optim_slots.items():
+            optimizer_state[slot] = [indexed[i]
+                                     for i in sorted(indexed)]
+    checkpoint = Checkpoint(
+        epoch=int(meta["epoch"]),
+        model_state=model_state,
+        optimizer_state=optimizer_state,
+        scheduler_state=meta.get("scheduler"),
+        rng_state=meta.get("rng_state"),
+        result_state=meta.get("result"),
+        best_state=best_state or None,
+        extra=meta.get("extra", {}))
+    if model is not None:
+        model.load_state_dict(checkpoint.model_state)
+    if optimizer is not None:
+        if optimizer_state is None:
+            raise ValueError(f"{path} holds no optimizer state")
+        expected = type(optimizer).__name__
+        if optimizer_state["type"] != expected:
+            raise ValueError(
+                f"checkpoint optimizer is {optimizer_state['type']}, "
+                f"got a {expected} to restore into")
+        optimizer.load_state_dict(
+            {k: v for k, v in optimizer_state.items() if k != "type"})
+    if scheduler is not None:
+        if checkpoint.scheduler_state is None:
+            raise ValueError(f"{path} holds no scheduler state")
+        scheduler.load_state_dict(checkpoint.scheduler_state)
+    return checkpoint
+
+
+# ----------------------------------------------------------------------
+# per-method roster artifacts
+# ----------------------------------------------------------------------
+def save_method_result(result: MethodResult, path: PathLike) -> None:
+    """Persist one roster method's evaluation for later resumption."""
+    arrays: Dict[str, np.ndarray] = {}
+    meta = {"format_version": CHECKPOINT_FORMAT_VERSION,
+            "name": result.name,
+            "fit_seconds": float(result.fit_seconds),
+            "error": result.error}
+    if result.evaluation is not None:
+        meta["metrics"] = sorted(result.evaluation.per_step)
+        for metric, values in result.evaluation.per_step.items():
+            arrays[f"per_step/{metric}"] = np.asarray(values)
+        arrays["n_cells"] = np.asarray(result.evaluation.n_cells)
+    if result.predictions is not None:
+        arrays["predictions"] = result.predictions
+    if result.test_indices is not None:
+        arrays["test_indices"] = np.asarray(result.test_indices)
+    arrays["__meta__"] = _meta_json(meta)
+    _atomic_savez(Path(path), arrays)
+
+
+def load_method_result(path: PathLike) -> MethodResult:
+    """Read back a method result saved by :func:`save_method_result`."""
+    with np.load(str(path)) as archive:
+        entries = {name: archive[name] for name in archive.files}
+    meta = json.loads(bytes(entries.pop("__meta__")).decode("utf-8"))
+    evaluation = None
+    if "metrics" in meta:
+        evaluation = EvaluationResult(
+            per_step={metric: entries[f"per_step/{metric}"]
+                      for metric in meta["metrics"]},
+            n_cells=entries["n_cells"])
+    return MethodResult(
+        name=meta["name"], evaluation=evaluation,
+        fit_seconds=meta["fit_seconds"],
+        predictions=entries.get("predictions"),
+        test_indices=entries.get("test_indices"),
+        error=meta.get("error"))
+
+
+# ----------------------------------------------------------------------
 # OD tensor sequences
 # ----------------------------------------------------------------------
 def save_sequence(sequence: ODTensorSequence, path: PathLike) -> None:
-    """Persist an OD tensor sequence (tensors, mask, counts, metadata)."""
+    """Persist an OD tensor sequence (tensors, mask, counts, metadata).
+
+    Tensors and counts are stored as **float32** to halve the artifact
+    size: histogram cells live in [0, 1] where float32 keeps ~7
+    significant digits, far below the sampling noise of the counts that
+    produced them.  The round-trip is therefore lossy at the ~1e-7
+    level — in particular, histograms that summed to exactly 1.0 in
+    float64 may be off by a few ULPs after reload, which is why
+    :func:`load_sequence` renormalizes them.
+    """
     np.savez_compressed(
         str(path),
         tensors=sequence.tensors.astype(np.float32),
@@ -62,11 +283,20 @@ def save_sequence(sequence: ODTensorSequence, path: PathLike) -> None:
 
 
 def load_sequence(path: PathLike) -> ODTensorSequence:
-    """Load a sequence saved by :func:`save_sequence`."""
+    """Load a sequence saved by :func:`save_sequence`.
+
+    Restores float64 and renormalizes each observed cell's histogram to
+    sum to exactly 1 again, undoing the float32 quantization of
+    :func:`save_sequence` (empty cells — all-zero histograms — are left
+    untouched).
+    """
     with np.load(str(path)) as archive:
         spec = HistogramSpec(edges=tuple(archive["edges"]))
+        tensors = archive["tensors"].astype(np.float64)
+        totals = tensors.sum(axis=-1, keepdims=True)
+        np.divide(tensors, totals, out=tensors, where=totals > 0)
         return ODTensorSequence(
-            tensors=archive["tensors"].astype(np.float64),
+            tensors=tensors,
             mask=archive["mask"].astype(bool),
             counts=archive["counts"].astype(np.float64),
             spec=spec,
@@ -84,6 +314,7 @@ def export_comparison(result: ComparisonResult, path: PathLike) -> None:
         "rows": result.table(),
         "fit_seconds": {name: method.fit_seconds
                         for name, method in result.methods.items()},
+        "failures": result.failures(),
     }
     Path(path).write_text(json.dumps(payload, indent=2))
 

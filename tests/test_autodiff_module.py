@@ -69,6 +69,68 @@ class TestModes:
             Module()(1)
 
 
+class TestSharedParameters:
+    """Weight tying: shared objects must be discovered exactly once."""
+
+    def _tied_param_net(self):
+        shared = Parameter(np.ones(3))
+
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.embed = shared
+                self.project = shared            # same object, two names
+
+            def forward(self, x):
+                return x * self.embed * self.project
+
+        return Net(), shared
+
+    def test_shared_parameter_yielded_once(self):
+        net, shared = self._tied_param_net()
+        names = list(net.named_parameters())
+        assert len(names) == 1
+        assert names[0][0] == "embed"            # first attribute wins
+        assert names[0][1] is shared
+
+    def test_num_parameters_not_double_counted(self):
+        net, _ = self._tied_param_net()
+        assert net.num_parameters() == 3
+
+    def test_optimizer_single_steps_tied_weight(self):
+        from repro.autodiff import SGD
+        net, shared = self._tied_param_net()
+        opt = SGD(net.parameters(), lr=1.0)
+        shared.grad = np.ones(3)
+        opt.step()
+        # One parameter slot -> exactly one lr*grad update, not two.
+        assert np.allclose(shared.data, 0.0)
+
+    def test_shared_module_visited_once(self, rng):
+        tied = Linear(2, 2, rng)
+
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.encoder = tied
+                self.decoder = tied
+
+            def forward(self, x):
+                return self.decoder(self.encoder(x))
+
+        net = Net()
+        assert len(list(net.modules())) == 2     # net + the one Linear
+        assert len(list(net.named_parameters())) == 2   # weight + bias
+
+    def test_state_dict_round_trip_with_tied_weights(self):
+        net, shared = self._tied_param_net()
+        state = net.state_dict()
+        assert set(state) == {"embed"}
+        shared.data += 5.0
+        net.load_state_dict(state)
+        assert np.allclose(shared.data, 1.0)
+
+
 class TestStateDict:
     def test_round_trip(self, net, rng):
         state = net.state_dict()
@@ -102,3 +164,23 @@ class TestStateDict:
         state["scale"] = np.zeros(5)
         with pytest.raises(ValueError):
             net.load_state_dict(state)
+
+    def test_load_preserves_float32_dtype(self, rng):
+        """A float32 model must stay float32 through a state-dict restore
+        (early stopping, ``load_model``), not be clobbered to float64."""
+        from repro.autodiff import set_default_dtype
+        set_default_dtype(np.float32)
+        try:
+            net = _Net(rng)
+            state = net.state_dict()
+            net.load_state_dict(state)
+        finally:
+            set_default_dtype(np.float64)
+        assert all(p.data.dtype == np.float32 for p in net.parameters())
+
+    def test_load_preserves_float64_against_narrow_saved(self, net):
+        """A float64 model loading float32-saved weights stays float64."""
+        state = {name: value.astype(np.float32)
+                 for name, value in net.state_dict().items()}
+        net.load_state_dict(state)
+        assert all(p.data.dtype == np.float64 for p in net.parameters())

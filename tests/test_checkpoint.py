@@ -1,0 +1,236 @@
+"""Tests for optimizer/scheduler serialization and checkpoint/resume."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import SGD, Adam, StepDecay
+from repro.autodiff.module import Parameter
+from repro.core import BasicFramework, TrainConfig, Trainer, bf_loss
+from repro.persistence import (Checkpoint, load_checkpoint, load_model,
+                               save_checkpoint)
+
+
+def _loss(pred, truth, mask, r, c):
+    return bf_loss(pred, truth, mask, r, c, 1e-4, 1e-4)
+
+
+def _make_model(seed=7, dropout=0.2):
+    return BasicFramework(12, 12, 7, np.random.default_rng(seed), rank=3,
+                          encoder_dim=8, hidden_dim=12, dropout=dropout)
+
+
+def _step(param, optimizer):
+    loss = ((param - 3.0) ** 2).sum()
+    optimizer.zero_grad()
+    loss.backward()
+    optimizer.step()
+
+
+class TestOptimizerStateDict:
+    def test_adam_round_trip_continues_identically(self):
+        p1 = Parameter(np.array([0.0, 10.0]))
+        opt1 = Adam([p1], lr=0.3)
+        for _ in range(5):
+            _step(p1, opt1)
+        state = opt1.state_dict()
+
+        p2 = Parameter(p1.data.copy())
+        opt2 = Adam([p2], lr=0.999)          # wrong lr, fixed by load
+        opt2.load_state_dict(state)
+        assert opt2.lr == opt1.lr
+        assert opt2._t == opt1._t
+        for _ in range(5):
+            _step(p1, opt1)
+            _step(p2, opt2)
+        assert np.array_equal(p1.data, p2.data)
+
+    def test_adam_state_is_a_copy(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.1)
+        _step(p, opt)
+        state = opt.state_dict()
+        state["m"][0][:] = 99.0
+        assert not np.allclose(opt._m[0], 99.0)
+
+    def test_adam_slot_count_mismatch_raises(self):
+        p, q = Parameter(np.zeros(2)), Parameter(np.zeros(2))
+        state = Adam([p], lr=0.1).state_dict()
+        with pytest.raises(ValueError):
+            Adam([p, q], lr=0.1).load_state_dict(state)
+
+    def test_adam_slot_shape_mismatch_raises(self):
+        state = Adam([Parameter(np.zeros(2))], lr=0.1).state_dict()
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(3))], lr=0.1).load_state_dict(state)
+
+    def test_sgd_momentum_round_trip(self):
+        p1 = Parameter(np.array([0.0]))
+        opt1 = SGD([p1], lr=0.05, momentum=0.9)
+        for _ in range(3):
+            _step(p1, opt1)
+        p2 = Parameter(p1.data.copy())
+        opt2 = SGD([p2], lr=0.05, momentum=0.9)
+        opt2.load_state_dict(opt1.state_dict())
+        for _ in range(3):
+            _step(p1, opt1)
+            _step(p2, opt2)
+        assert np.array_equal(p1.data, p2.data)
+
+    def test_float32_params_keep_float32_slots(self):
+        from repro.autodiff import set_default_dtype
+        set_default_dtype(np.float32)
+        try:
+            p = Parameter(np.zeros(2))
+            opt = Adam([p], lr=0.1)
+            opt.load_state_dict(opt.state_dict())
+        finally:
+            set_default_dtype(np.float64)
+        assert opt._m[0].dtype == np.float32
+        assert opt._v[0].dtype == np.float32
+
+
+class TestStepDecayStateDict:
+    def test_round_trip_restores_epoch_and_lr(self):
+        p = Parameter(np.zeros(1))
+        opt1 = Adam([p], lr=1e-3)
+        sched1 = StepDecay(opt1, factor=0.8, every=5)
+        for _ in range(7):
+            sched1.step()
+        opt2 = Adam([Parameter(np.zeros(1))], lr=1e-3)
+        sched2 = StepDecay(opt2, factor=0.8, every=5)
+        sched2.load_state_dict(sched1.state_dict())
+        assert sched2.epoch == 7
+        assert opt2.lr == opt1.lr
+        assert sched2.step() == sched1.step()
+
+
+class TestCheckpointFile:
+    def test_full_round_trip(self, tmp_path, windows, split):
+        model = _make_model()
+        trainer = Trainer(model, _loss,
+                          TrainConfig(epochs=2, batch_size=8,
+                                      max_train_batches=3, seed=5))
+        result = trainer.fit(windows, split, horizon=2)
+        rng = np.random.default_rng(11)
+        rng.normal(size=10)                      # advance past seed state
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, optimizer=trainer.optimizer,
+                        scheduler=trainer.scheduler, epoch=4,
+                        result=result, rng_state=rng.bit_generator.state,
+                        best_state=model.state_dict(),
+                        extra={"stall": 2})
+
+        clone = _make_model(seed=99)
+        opt = Adam(clone.parameters(), lr=0.5)
+        sched = StepDecay(opt, factor=0.5, every=3)
+        checkpoint = load_checkpoint(path, model=clone, optimizer=opt,
+                                     scheduler=sched)
+        assert isinstance(checkpoint, Checkpoint)
+        assert checkpoint.epoch == 4
+        assert checkpoint.extra["stall"] == 2
+        assert checkpoint.result_state["val_losses"] == result.val_losses
+        # model weights restored bit-for-bit
+        for name, value in model.state_dict().items():
+            assert np.array_equal(checkpoint.model_state[name], value)
+            assert np.array_equal(clone.state_dict()[name], value)
+        # optimizer moments and step counter restored
+        assert opt._t == trainer.optimizer._t
+        for m1, m2 in zip(opt._m, trainer.optimizer._m):
+            assert np.array_equal(m1, m2)
+        assert sched.epoch == trainer.scheduler.epoch
+        # the restored RNG continues exactly where the saved one left off
+        resumed = np.random.default_rng(1)
+        resumed.bit_generator.state = checkpoint.rng_state
+        assert np.array_equal(rng.normal(size=4), resumed.normal(size=4))
+
+    def test_optimizer_type_mismatch_raises(self, tmp_path):
+        model = _make_model()
+        adam = Adam(model.parameters(), lr=0.1)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, optimizer=adam, epoch=0)
+        sgd = SGD(model.parameters(), lr=0.1)
+        with pytest.raises(ValueError):
+            load_checkpoint(path, optimizer=sgd)
+
+    def test_non_checkpoint_file_raises(self, tmp_path):
+        path = tmp_path / "weights.npz"
+        np.savez(path, w=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_checkpoint(path)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        model = _make_model()
+        save_checkpoint(tmp_path / "ckpt.npz", model, epoch=0)
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name != "ckpt.npz"]
+        assert leftovers == []
+
+
+class TestKillAndResume:
+    """Interrupting fit after a checkpoint must not change the outcome."""
+
+    CFG = dict(batch_size=8, max_train_batches=4, patience=10, seed=3)
+
+    def _fit_uninterrupted(self, windows, split, epochs):
+        trainer = Trainer(_make_model(), _loss,
+                          TrainConfig(epochs=epochs, **self.CFG))
+        result = trainer.fit(windows, split, horizon=2)
+        return trainer, result
+
+    @pytest.mark.parametrize("interrupt_after", [1, 2, 3])
+    def test_bit_identical_weights_and_curves(self, tmp_path, windows,
+                                              split, interrupt_after):
+        epochs = 4
+        baseline, expected = self._fit_uninterrupted(windows, split, epochs)
+
+        # "Crash" after `interrupt_after` epochs, then resume in a fresh
+        # trainer (new model object, new optimizer) from the checkpoint.
+        directory = tmp_path / f"run{interrupt_after}"
+        partial = Trainer(_make_model(), _loss,
+                          TrainConfig(epochs=interrupt_after, **self.CFG))
+        partial.fit(windows, split, horizon=2, checkpoint_dir=directory)
+        resumed = Trainer(_make_model(), _loss,
+                          TrainConfig(epochs=epochs, **self.CFG))
+        result = resumed.fit(windows, split, horizon=2,
+                             checkpoint_dir=directory, resume=True)
+
+        assert result.train_losses == expected.train_losses
+        assert result.val_losses == expected.val_losses
+        assert result.best_epoch == expected.best_epoch
+        state, expected_state = (resumed.model.state_dict(),
+                                 baseline.model.state_dict())
+        for name in expected_state:
+            assert np.array_equal(state[name], expected_state[name]), name
+
+    def test_resume_without_checkpoint_starts_fresh(self, tmp_path,
+                                                    windows, split):
+        trainer = Trainer(_make_model(), _loss,
+                          TrainConfig(epochs=2, **self.CFG))
+        result = trainer.fit(windows, split, horizon=2,
+                             checkpoint_dir=tmp_path / "empty",
+                             resume=True)
+        assert len(result.val_losses) == 2
+
+    def test_best_npz_written_and_loadable(self, tmp_path, windows, split):
+        directory = tmp_path / "ckpt"
+        trainer = Trainer(_make_model(), _loss,
+                          TrainConfig(epochs=3, **self.CFG))
+        result = trainer.fit(windows, split, horizon=2,
+                             checkpoint_dir=directory)
+        assert (directory / "best.npz").exists()
+        assert (directory / "checkpoint.npz").exists()
+        clone = _make_model(seed=123)
+        load_model(clone, directory / "best.npz")
+        # fit restores the best weights, so best.npz == final weights
+        for name, value in trainer.model.state_dict().items():
+            assert np.array_equal(clone.state_dict()[name], value)
+        assert result.best_epoch >= 0
+
+    def test_checkpoint_every_respected(self, tmp_path, windows, split):
+        directory = tmp_path / "sparse"
+        trainer = Trainer(_make_model(), _loss,
+                          TrainConfig(epochs=3, **self.CFG))
+        trainer.fit(windows, split, horizon=2, checkpoint_dir=directory,
+                    checkpoint_every=2)
+        checkpoint = load_checkpoint(directory / "checkpoint.npz")
+        assert checkpoint.epoch == 1             # epochs 0,1 -> one write

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.autodiff import Module, Parameter, Tensor
 from repro.baselines import FCBaseline, plain_loss
 from repro.core import (BasicFramework, TrainConfig, Trainer, bf_loss,
                         practical_bf)
@@ -75,3 +76,61 @@ class TestTrainer:
     def test_practical_bf_constructor(self, windows, split):
         model = practical_bf(12, 12, 7, seed=0)
         assert model.num_parameters() > 0
+
+    def test_evaluate_restores_prior_mode(self, windows, split,
+                                          small_model):
+        trainer = Trainer(small_model, _loss,
+                          TrainConfig(epochs=1, batch_size=8,
+                                      max_train_batches=1))
+        small_model.eval()
+        trainer.evaluate(windows, split.val, horizon=2, max_batches=1)
+        # A caller that had the model in eval must not get dropout
+        # silently re-enabled.
+        assert not small_model.training
+        small_model.train()
+        trainer.evaluate(windows, split.val, horizon=2, max_batches=1)
+        assert small_model.training
+
+    def test_predict_restores_prior_mode(self, windows, split,
+                                         small_model):
+        trainer = Trainer(small_model, _loss,
+                          TrainConfig(epochs=1, batch_size=8,
+                                      max_train_batches=1))
+        small_model.eval()
+        trainer.predict(windows, split.test[:4], horizon=2)
+        assert not small_model.training
+
+
+class _DivergingModel(Module):
+    """Forecaster whose predictions go NaN — a diverged training run."""
+
+    def __init__(self, n, k):
+        super().__init__()
+        self.w = Parameter(np.ones(1))
+        self.n, self.k = n, k
+
+    def forward(self, histories, horizon):
+        batch = histories.shape[0]
+        blank = np.full((batch, horizon, self.n, self.n, self.k), np.nan)
+        return self.w * Tensor(blank), None, None
+
+
+class TestDivergenceHandling:
+    def test_nan_val_loss_warns_flags_and_stops(self, windows, split):
+        from repro.baselines import plain_loss
+        trainer = Trainer(_DivergingModel(12, 7), plain_loss,
+                          TrainConfig(epochs=10, batch_size=8,
+                                      max_train_batches=1, patience=8))
+        with pytest.warns(RuntimeWarning, match="non-finite"):
+            result = trainer.fit(windows, split, horizon=2)
+        assert result.diverged
+        # Stopped at the first non-finite epoch, not after `patience`.
+        assert len(result.val_losses) == 1
+        assert result.best_epoch == -1
+
+    def test_healthy_run_not_flagged(self, windows, split, small_model):
+        trainer = Trainer(small_model, _loss,
+                          TrainConfig(epochs=2, batch_size=8,
+                                      max_train_batches=2, patience=10))
+        result = trainer.fit(windows, split, horizon=2)
+        assert not result.diverged

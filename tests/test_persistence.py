@@ -53,6 +53,22 @@ class TestSequenceRoundTrip:
         windows = WindowDataset(loaded, s=3, h=1)
         assert len(windows) > 0
 
+    def test_histograms_renormalized_after_float32_round_trip(
+            self, tmp_path, sequence):
+        """The float32 storage quantizes cells; load must restore the
+        sum-to-one histogram invariant exactly (empty cells stay zero)."""
+        path = tmp_path / "seq.npz"
+        save_sequence(sequence, path)
+        loaded = load_sequence(path)
+        sums = loaded.tensors.sum(axis=-1)
+        observed = sums > 0
+        assert observed.any()
+        assert np.abs(sums[observed] - 1.0).max() < 1e-12
+        # Empty cells must remain exactly empty, not become NaN.
+        original_empty = sequence.tensors.sum(axis=-1) == 0
+        assert np.all(sums[original_empty] == 0.0)
+        assert np.isfinite(loaded.tensors).all()
+
 
 class TestComparisonExport:
     def test_round_trip(self, tmp_path, dataset):

@@ -1,0 +1,182 @@
+"""Tests for roster fault isolation, timeouts, and artifact-dir resume."""
+
+import io
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import Forecaster
+from repro.experiments import make_nh, prepare, run_comparison
+from repro.telemetry import TelemetryLogger
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAS_FORK,
+                                reason="worker mode needs fork")
+
+
+@pytest.fixture(scope="module")
+def data(dataset):
+    return prepare(dataset, s=3, h=2)
+
+
+class _Raising(Forecaster):
+    name = "boom"
+
+    def fit(self, dataset, split, horizon):
+        raise RuntimeError("kaboom")
+
+    def predict(self, dataset, indices, horizon):  # pragma: no cover
+        raise AssertionError("predict after failed fit")
+
+
+class _Crashing(Forecaster):
+    """Dies without raising — models a segfault/OOM-killed worker."""
+
+    name = "crash"
+
+    def fit(self, dataset, split, horizon):
+        os._exit(17)
+
+
+class _Hanging(Forecaster):
+    name = "hang"
+
+    def fit(self, dataset, split, horizon):
+        time.sleep(600)
+
+    def predict(self, dataset, indices, horizon):  # pragma: no cover
+        raise AssertionError("predict after hang")
+
+
+class TestFaultIsolation:
+    def test_raising_method_recorded_sequentially(self, data):
+        result = run_comparison(
+            data, {"nh": make_nh, "boom": lambda d: _Raising()},
+            max_test_windows=4)
+        assert result.methods["nh"].evaluation is not None
+        boom = result.methods["boom"]
+        assert boom.failed
+        assert boom.evaluation is None
+        assert "kaboom" in boom.error
+        assert result.failures() == {"boom": boom.error}
+
+    def test_table_skips_failed_methods(self, data):
+        result = run_comparison(
+            data, {"nh": make_nh, "boom": lambda d: _Raising()},
+            max_test_windows=4)
+        assert {row["method"] for row in result.table()} == {"nh"}
+        assert "FAILED" in result.format_table()
+        assert "kaboom" in result.format_table()
+
+    @needs_fork
+    def test_raising_method_recorded_in_workers(self, data):
+        result = run_comparison(
+            data, {"nh": make_nh, "boom": lambda d: _Raising()},
+            max_test_windows=4, n_jobs=2)
+        assert result.methods["nh"].evaluation is not None
+        assert "kaboom" in result.methods["boom"].error
+
+    @needs_fork
+    def test_dying_worker_does_not_take_roster_down(self, data):
+        result = run_comparison(
+            data, {"crash": lambda d: _Crashing(), "nh": make_nh},
+            max_test_windows=4, n_jobs=2, retries=0)
+        assert result.methods["nh"].evaluation is not None
+        assert "died" in result.methods["crash"].error
+
+    @needs_fork
+    def test_timeout_recorded(self, data):
+        result = run_comparison(
+            data, {"hang": lambda d: _Hanging(), "nh": make_nh},
+            max_test_windows=4, n_jobs=2, method_timeout=1.0, retries=0)
+        assert result.methods["nh"].evaluation is not None
+        assert "timed out" in result.methods["hang"].error
+
+    @needs_fork
+    def test_timeout_gets_one_retry(self, data):
+        stream = io.StringIO()
+        result = run_comparison(
+            data, {"hang": lambda d: _Hanging()},
+            max_test_windows=4, n_jobs=1, method_timeout=0.5, retries=1,
+            telemetry=TelemetryLogger(stream))
+        assert result.methods["hang"].failed
+        import json
+        events = [json.loads(line) for line in
+                  stream.getvalue().splitlines()]
+        starts = [e for e in events if e["event"] == "method_start"]
+        assert [e["attempt"] for e in starts] == [1, 2]
+        fails = [e for e in events if e["event"] == "method_fail"]
+        assert fails[0].get("will_retry") is True
+        assert "will_retry" not in fails[-1]
+
+
+class TestTelemetryEvents:
+    def test_sequential_method_events(self, data):
+        stream = io.StringIO()
+        run_comparison(data, {"nh": make_nh, "boom": lambda d: _Raising()},
+                       max_test_windows=4,
+                       telemetry=TelemetryLogger(stream))
+        import json
+        events = [json.loads(line) for line in
+                  stream.getvalue().splitlines()]
+        by_kind = {}
+        for event in events:
+            by_kind.setdefault(event["event"], []).append(event)
+        assert len(by_kind["method_start"]) == 2
+        assert by_kind["method_end"][0]["method"] == "nh"
+        assert by_kind["method_fail"][0]["method"] == "boom"
+
+
+class TestArtifactDirResume:
+    def test_rerun_skips_completed_methods(self, data, tmp_path):
+        artifact_dir = tmp_path / "artifacts"
+        first = run_comparison(data, {"nh": make_nh}, max_test_windows=4,
+                               artifact_dir=artifact_dir)
+        assert (artifact_dir / "nh.npz").exists()
+
+        # Rerun with a factory that would fail if actually invoked: the
+        # artifact must be used instead.
+        def poisoned(_data):
+            raise AssertionError("factory called despite artifact")
+
+        stream = io.StringIO()
+        second = run_comparison(data, {"nh": poisoned}, max_test_windows=4,
+                                artifact_dir=artifact_dir,
+                                telemetry=TelemetryLogger(stream))
+        assert "method_skip" in stream.getvalue()
+        for metric in ("kl", "js", "emd"):
+            assert np.array_equal(
+                first.methods["nh"].evaluation.per_step[metric],
+                second.methods["nh"].evaluation.per_step[metric])
+
+    def test_failed_methods_not_persisted(self, data, tmp_path):
+        artifact_dir = tmp_path / "artifacts"
+        run_comparison(data, {"boom": lambda d: _Raising()},
+                       max_test_windows=4, artifact_dir=artifact_dir)
+        assert not (artifact_dir / "boom.npz").exists()
+
+    def test_stale_artifact_recomputed(self, data, tmp_path):
+        artifact_dir = tmp_path / "artifacts"
+        run_comparison(data, {"nh": make_nh}, max_test_windows=4,
+                       artifact_dir=artifact_dir)
+        # Different test windows -> stale artifact must be ignored.
+        result = run_comparison(data, {"nh": make_nh}, max_test_windows=6,
+                                artifact_dir=artifact_dir)
+        assert result.methods["nh"].evaluation is not None
+        assert len(result.methods["nh"].test_indices) == 6
+
+    def test_partial_roster_completes_missing_methods(self, data,
+                                                      tmp_path):
+        from repro.experiments import make_gp
+        artifact_dir = tmp_path / "artifacts"
+        run_comparison(data, {"nh": make_nh}, max_test_windows=4,
+                       artifact_dir=artifact_dir)
+        result = run_comparison(data, {"nh": make_nh, "gp": make_gp},
+                                max_test_windows=4,
+                                artifact_dir=artifact_dir)
+        assert set(result.methods) == {"nh", "gp"}
+        assert result.methods["gp"].evaluation is not None
+        assert (artifact_dir / "gp.npz").exists()

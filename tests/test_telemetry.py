@@ -1,0 +1,141 @@
+"""Tests for the JSONL telemetry event log and the Trainer hook."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import BasicFramework, TrainConfig, Trainer, bf_loss
+from repro.telemetry import TelemetryLogger, emit, peak_rss_mb, read_events
+
+
+class TestTelemetryLogger:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetryLogger(path) as log:
+            log.emit("a", x=1)
+            log.emit("b", y="two")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["event"] == "a" and first["x"] == 1
+        assert "ts" in first
+
+    def test_run_id_stamped_on_every_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetryLogger(path, run_id="run-7") as log:
+            log.emit("a")
+        assert read_events(path)[0]["run_id"] == "run-7"
+
+    def test_append_mode_preserves_prior_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetryLogger(path) as log:
+            log.emit("first")
+        with TelemetryLogger(path) as log:
+            log.emit("second")
+        assert [e["event"] for e in read_events(path)] == ["first",
+                                                           "second"]
+
+    def test_numpy_values_serialize(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetryLogger(path) as log:
+            log.emit("a", loss=np.float64(0.5), n=np.int64(3),
+                     values=np.array([1.0, 2.0]))
+        event = read_events(path)[0]
+        assert event["loss"] == 0.5
+        assert event["n"] == 3
+        assert event["values"] == [1.0, 2.0]
+
+    def test_accepts_streams(self):
+        stream = io.StringIO()
+        log = TelemetryLogger(stream)
+        log.emit("a", x=1)
+        assert json.loads(stream.getvalue())["x"] == 1
+
+    def test_read_events_filter(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with TelemetryLogger(path) as log:
+            log.emit("epoch", epoch=0)
+            log.emit("checkpoint", epoch=0)
+            log.emit("epoch", epoch=1)
+        assert len(read_events(path, event="epoch")) == 2
+
+
+class TestEmitDispatch:
+    def test_none_sink_is_noop(self):
+        emit(None, "anything", x=1)              # must not raise
+
+    def test_callback_sink(self):
+        seen = []
+        emit(lambda event, fields: seen.append((event, fields)),
+             "epoch", loss=0.5)
+        assert seen == [("epoch", {"loss": 0.5})]
+
+    def test_logger_sink(self):
+        stream = io.StringIO()
+        emit(TelemetryLogger(stream), "epoch", loss=0.5)
+        assert json.loads(stream.getvalue())["loss"] == 0.5
+
+
+class TestPeakRss:
+    def test_positive_on_posix(self):
+        rss = peak_rss_mb()
+        assert rss is None or rss > 0
+
+
+class TestTrainerTelemetry:
+    def _loss(self, pred, truth, mask, r, c):
+        return bf_loss(pred, truth, mask, r, c, 1e-4, 1e-4)
+
+    def test_epoch_events_schema(self, tmp_path, windows, split):
+        model = BasicFramework(12, 12, 7, np.random.default_rng(0), rank=2,
+                               encoder_dim=6, hidden_dim=8)
+        trainer = Trainer(model, self._loss,
+                          TrainConfig(epochs=2, batch_size=8,
+                                      max_train_batches=3, patience=10))
+        path = tmp_path / "train.jsonl"
+        with TelemetryLogger(path) as log:
+            trainer.fit(windows, split, horizon=2, telemetry=log)
+        events = read_events(path)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "fit_start"
+        assert kinds[-1] == "fit_end"
+        epochs = read_events(path, event="epoch")
+        assert len(epochs) == 2
+        for i, event in enumerate(epochs):
+            assert event["epoch"] == i
+            assert np.isfinite(event["train_loss"])
+            assert np.isfinite(event["val_loss"])
+            assert event["lr"] > 0
+            assert event["grad_norm"] >= 0
+            assert event["seconds"] >= 0
+            assert event["peak_rss_mb"] is None or event["peak_rss_mb"] > 0
+        end = read_events(path, event="fit_end")[0]
+        assert end["epochs_run"] == 2
+        assert end["diverged"] is False
+
+    def test_checkpoint_events(self, tmp_path, windows, split):
+        model = BasicFramework(12, 12, 7, np.random.default_rng(0), rank=2,
+                               encoder_dim=6, hidden_dim=8)
+        trainer = Trainer(model, self._loss,
+                          TrainConfig(epochs=2, batch_size=8,
+                                      max_train_batches=3, patience=10))
+        path = tmp_path / "train.jsonl"
+        with TelemetryLogger(path) as log:
+            trainer.fit(windows, split, horizon=2,
+                        checkpoint_dir=tmp_path / "ckpt", telemetry=log)
+        checkpoints = read_events(path, event="checkpoint")
+        assert len(checkpoints) == 2
+        assert checkpoints[0]["path"].endswith("checkpoint.npz")
+
+    def test_callback_hook_receives_epochs(self, windows, split):
+        model = BasicFramework(12, 12, 7, np.random.default_rng(0), rank=2,
+                               encoder_dim=6, hidden_dim=8)
+        trainer = Trainer(model, self._loss,
+                          TrainConfig(epochs=2, batch_size=8,
+                                      max_train_batches=2, patience=10))
+        seen = []
+        trainer.fit(windows, split, horizon=2,
+                    telemetry=lambda event, fields: seen.append(event))
+        assert seen.count("epoch") == 2
