@@ -13,6 +13,12 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 # Fails the sweep loudly if checkpointing regresses (~30s).
 python3 benchmarks/resume_smoke.py || exit 1
 
+# Chaos gate: inject drifted/dropped/NaN data, NaN gradients, corrupted
+# checkpoints, and killed workers; every fault must be repaired,
+# quarantined, or cleanly reported, and the data contracts must cost
+# <5% of a training epoch (see docs/ROBUSTNESS.md).
+python3 benchmarks/chaos_smoke.py || exit 1
+
 # Kernel microbenchmarks first: fused vs. reference autodiff ops and
 # one AF/BF training step.  Writes BENCH_AUTODIFF.json at the repo root.
 python3 benchmarks/microbench.py \

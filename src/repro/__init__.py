@@ -32,6 +32,8 @@ Subpackages
 
 from .baselines import (FCBaseline, GaussianProcessForecaster, MRForecaster,
                         NaiveHistogram, NeuralForecaster, VARForecaster)
+from .contracts import (ContractPolicy, ContractViolation, contract_policy,
+                        get_contract_policy, set_contract_policy)
 from .core import (AdvancedFramework, BasicFramework, TrainConfig, Trainer,
                    af_loss, bf_loss)
 from .experiments import full_roster, prepare, run_comparison
@@ -59,4 +61,6 @@ __all__ = [
     "kl_divergence", "js_divergence", "emd", "evaluate_forecasts",
     "prepare", "run_comparison", "full_roster",
     "forecast_latest",
+    "ContractPolicy", "ContractViolation", "contract_policy",
+    "get_contract_policy", "set_contract_policy",
 ]

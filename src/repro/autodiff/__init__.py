@@ -21,13 +21,15 @@ from .layers import (MLP, Activation, Dropout, Embedding, LayerNorm,
 from .module import Module, Parameter
 from .optim import SGD, Adam, Optimizer, StepDecay, clip_grad_norm
 from .rnn import GRU, GRUCell, LSTMCell, Seq2Seq
-from .tensor import (Tensor, get_default_dtype, ones, set_default_dtype,
-                     tensor, zeros)
+from .tensor import (AnomalyError, Tensor, anomaly_enabled, detect_anomaly,
+                     get_default_dtype, ones, set_default_dtype, tensor,
+                     zeros)
 
 __all__ = [
     "Tensor", "tensor", "zeros", "ones",
     "set_default_dtype", "get_default_dtype",
     "fused_enabled", "set_fused", "use_fused",
+    "detect_anomaly", "anomaly_enabled", "AnomalyError",
     "ops", "init",
     "Module", "Parameter",
     "Linear", "Dropout", "Sequential", "Activation", "MLP", "Embedding",

@@ -19,12 +19,16 @@ from .tensor import Tensor, _ensure_tensor, _unbroadcast
 def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
     """Numerically stable logistic sigmoid on a raw array.
 
-    ``exp(-x)`` overflowing to ``inf`` for very negative inputs is benign
-    — the quotient is exactly 0.0 — so the overflow warning is silenced
-    instead of paying for a branchy masked formulation.
+    The piecewise form ``1/(1+e^-x)`` for ``x >= 0`` and
+    ``e^x/(1+e^x)`` for ``x < 0`` only ever exponentiates non-positive
+    values, so it cannot overflow — no ``RuntimeWarning`` leaks even
+    when the test suite promotes warnings to errors.  ``exp`` of a very
+    negative value flushing to 0.0 is exact, and the errstate guard
+    keeps any platform that signals that underflow quiet.
     """
-    with np.errstate(over="ignore"):
-        return 1.0 / (1.0 + np.exp(-x))
+    with np.errstate(under="ignore"):
+        z = np.exp(-np.abs(x))
+        return np.where(x >= 0, 1.0, z) / (1.0 + z)
 
 
 def exp(x: Tensor) -> Tensor:
@@ -40,8 +44,20 @@ def exp(x: Tensor) -> Tensor:
 
 
 def log(x: Tensor) -> Tensor:
-    """Elementwise natural logarithm."""
+    """Elementwise natural logarithm.
+
+    Rejects zero/negative inputs up front: ``np.log`` would silently
+    turn them into ``-inf``/``nan`` that only surface many ops later,
+    with no trace of where they were born.
+    """
     x = _ensure_tensor(x)
+    if (x.data <= 0).any():
+        n_bad = int((x.data <= 0).sum())
+        raise ValueError(
+            f"log: input contains {n_bad} zero/negative value(s) "
+            f"(min {x.data.min():.6g}, shape {x.shape}); this would "
+            f"silently propagate -inf/nan through the tape — clamp with "
+            f"ops.clip_min(x, eps) or add a positive offset first")
     out_data = np.log(x.data)
 
     def backward(grad: np.ndarray) -> None:

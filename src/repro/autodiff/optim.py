@@ -192,6 +192,18 @@ class StepDecay:
     def epoch(self) -> int:
         return self._epoch
 
+    def scale_lr(self, factor: float) -> float:
+        """Permanently scale the whole schedule by ``factor``.
+
+        Rescales both the current lr and the schedule's base, so the
+        change survives future :meth:`step` calls (which recompute from
+        the base) and checkpoint round-trips (the base is serialized).
+        Used by the trainer's ``halve_lr`` non-finite-gradient policy.
+        """
+        self._initial_lr *= factor
+        self.optimizer.lr = max(self.optimizer.lr * factor, self.min_lr)
+        return self.optimizer.lr
+
     # -- serialization -------------------------------------------------
     def state_dict(self) -> Dict:
         """JSON-safe snapshot of the schedule position and hyper-params."""

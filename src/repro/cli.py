@@ -48,9 +48,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--days", type=int, default=4,
                         help="days of trips to generate")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--contracts", default="repair",
+                        choices=("off", "repair", "strict"),
+                        help="data-contract policy at pipeline "
+                             "boundaries (see docs/ROBUSTNESS.md): "
+                             "repair fixes what it safely can, strict "
+                             "rejects, off trusts the input")
+
+
+def _apply_contracts(args) -> None:
+    from .contracts import set_contract_policy
+    set_contract_policy(args.contracts)
 
 
 def cmd_compare(args) -> int:
+    _apply_contracts(args)
     import repro.autodiff as autodiff
     from .experiments import (MethodBudget, full_roster, prepare,
                               run_comparison)
@@ -102,6 +114,7 @@ def cmd_compare(args) -> int:
 
 
 def cmd_sparseness(args) -> int:
+    _apply_contracts(args)
     from .experiments import prepare, sparseness_report
 
     dataset = _build_dataset(args)
@@ -117,6 +130,7 @@ def cmd_sparseness(args) -> int:
 
 
 def cmd_generate(args) -> int:
+    _apply_contracts(args)
     from .histograms import build_od_tensors
     from .persistence import save_sequence
 
@@ -130,6 +144,7 @@ def cmd_generate(args) -> int:
 
 
 def cmd_headroom(args) -> int:
+    _apply_contracts(args)
     from .histograms import build_od_tensors
     from .trips import oracle_headroom
 

@@ -1,0 +1,327 @@
+"""Data contracts enforced at every pipeline boundary.
+
+The pipeline (sparse OD tensors → factorization → CNRNN forecasting →
+softmax recovery) silently assumes every observed histogram sums to 1,
+every mask is boolean, every graph adjacency is finite and symmetric,
+and nothing is NaN.  Real trip feeds break those assumptions first, so
+each boundary — :class:`~repro.histograms.tensor_builder.ODTensorSequence`
+construction, :func:`~repro.persistence.load_sequence`,
+:func:`~repro.graph.laplacian.scaled_laplacian` / ``ChebConv``,
+``BF``/``AF.forward``, :meth:`~repro.core.trainer.Trainer.fit` batches,
+and the :mod:`repro.forecast` facade — runs the cheap validators in this
+module under a repair-or-reject :class:`ContractPolicy`:
+
+``off``
+    No checks (trusted inputs; zero overhead).
+``repair``  *(default)*
+    Drifted histograms are renormalized in place, malformed observed
+    cells (mask says observed, histogram unusable) are quarantined —
+    mask cleared, cell zeroed — and asymmetric adjacencies symmetrized;
+    each repair emits a telemetry event.  Non-finite values are never
+    repairable: they hard-error.
+``strict``
+    Any violation raises :class:`ContractViolation`.
+
+The active policy is a process-wide default (like the fused-kernel
+toggle): :func:`set_contract_policy` replaces it, :func:`contract_policy`
+scopes a replacement, and every validator also accepts an explicit
+``policy=`` override.  Repair/quarantine events go to the policy's
+telemetry sink (see :mod:`repro.telemetry`, events ``contract_repair``
+and ``contract_quarantine``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .telemetry import TelemetrySink, emit
+
+__all__ = [
+    "CONTRACT_MODES", "ContractPolicy", "ContractViolation",
+    "get_contract_policy", "set_contract_policy", "contract_policy",
+    "check_finite", "check_mask", "check_histograms",
+    "check_symmetric_adjacency", "check_shape_dtype",
+    "validate_sequence",
+]
+
+CONTRACT_MODES = ("off", "repair", "strict")
+
+
+class ContractViolation(ValueError):
+    """A pipeline-boundary data contract was violated.
+
+    Carries ``boundary`` (where the check ran, e.g. ``"load_sequence"``)
+    and ``kind`` (which validator fired, e.g. ``"non_finite"``) so
+    callers and telemetry can route on them without parsing the message.
+    """
+
+    def __init__(self, message: str, boundary: str = "?", kind: str = "?"):
+        super().__init__(message)
+        self.boundary = boundary
+        self.kind = kind
+
+
+@dataclass(frozen=True)
+class ContractPolicy:
+    """How contract violations are handled at pipeline boundaries.
+
+    Attributes
+    ----------
+    mode:
+        ``"off"`` / ``"repair"`` / ``"strict"`` (see module docstring).
+    histogram_atol:
+        Tolerance on an observed cell's histogram sum before it counts
+        as drifted.
+    adjacency_atol:
+        Tolerance on ``|W - W.T|`` before an adjacency counts as
+        asymmetric.
+    telemetry:
+        Optional sink receiving ``contract_repair`` /
+        ``contract_quarantine`` events.
+    """
+
+    mode: str = "repair"
+    histogram_atol: float = 1e-6
+    adjacency_atol: float = 1e-10
+    telemetry: TelemetrySink = field(default=None, compare=False)
+
+    def __post_init__(self):
+        if self.mode not in CONTRACT_MODES:
+            raise ValueError(
+                f"contract mode must be one of {CONTRACT_MODES}, "
+                f"got {self.mode!r}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode != "off"
+
+    @property
+    def strict(self) -> bool:
+        return self.mode == "strict"
+
+
+_POLICY = ContractPolicy()
+
+
+def get_contract_policy() -> ContractPolicy:
+    """The process-wide default contract policy."""
+    return _POLICY
+
+
+def set_contract_policy(policy) -> ContractPolicy:
+    """Replace the default policy; returns the previous one.
+
+    ``policy`` may be a :class:`ContractPolicy` or a bare mode string
+    (``"off"`` / ``"repair"`` / ``"strict"``).
+    """
+    global _POLICY
+    previous = _POLICY
+    if isinstance(policy, str):
+        policy = replace(previous, mode=policy)
+    _POLICY = policy
+    return previous
+
+
+@contextlib.contextmanager
+def contract_policy(policy):
+    """Context manager scoping :func:`set_contract_policy`."""
+    previous = set_contract_policy(policy)
+    try:
+        yield get_contract_policy()
+    finally:
+        set_contract_policy(previous)
+
+
+def _resolve(policy: Optional[ContractPolicy]) -> ContractPolicy:
+    return _POLICY if policy is None else policy
+
+
+def _reject(policy: ContractPolicy, boundary: str, kind: str,
+            message: str) -> None:
+    raise ContractViolation(f"[{boundary}] {message}",
+                            boundary=boundary, kind=kind)
+
+
+def _note(policy: ContractPolicy, event: str, boundary: str, kind: str,
+          **fields) -> None:
+    emit(policy.telemetry, event, boundary=boundary, kind=kind, **fields)
+
+
+# ----------------------------------------------------------------------
+# validators
+# ----------------------------------------------------------------------
+def check_finite(array, name: str, boundary: str,
+                 policy: Optional[ContractPolicy] = None) -> None:
+    """Reject NaN/Inf.  Non-finite data is never repairable: feeding it
+    forward only smears the damage, so both ``repair`` and ``strict``
+    modes hard-error (``off`` skips the check)."""
+    policy = _resolve(policy)
+    if not policy.enabled:
+        return
+    array = np.asarray(array)
+    if np.isfinite(array).all():
+        return
+    n_nan = int(np.isnan(array).sum())
+    n_inf = int(np.isinf(array).sum())
+    _reject(policy, boundary, "non_finite",
+            f"{name} contains non-finite values ({n_nan} NaN, {n_inf} "
+            f"Inf of {array.size}); shape {array.shape}")
+
+
+def check_shape_dtype(array, name: str, boundary: str,
+                      shape: Optional[tuple] = None,
+                      dtype=None,
+                      policy: Optional[ContractPolicy] = None) -> None:
+    """Reject shape/dtype mismatches (no repair possible)."""
+    policy = _resolve(policy)
+    if not policy.enabled:
+        return
+    array = np.asarray(array)
+    if shape is not None:
+        if len(shape) != array.ndim or any(
+                want not in (None, -1) and want != got
+                for want, got in zip(shape, array.shape)):
+            _reject(policy, boundary, "shape",
+                    f"{name} has shape {array.shape}, expected {shape} "
+                    f"(None/-1 = any)")
+    if dtype is not None and array.dtype != np.dtype(dtype):
+        _reject(policy, boundary, "dtype",
+                f"{name} has dtype {array.dtype}, expected "
+                f"{np.dtype(dtype)}")
+
+
+def check_mask(mask: np.ndarray, tensors_shape: tuple, boundary: str,
+               policy: Optional[ContractPolicy] = None) -> np.ndarray:
+    """Validate an indication mask Ω: boolean, shape ``tensors[:3]``.
+
+    Repair casts 0/1 numeric masks to bool (with a telemetry event);
+    strict rejects them.  Returns the (possibly cast) mask.
+    """
+    policy = _resolve(policy)
+    if not policy.enabled:
+        return mask
+    if mask.shape != tuple(tensors_shape[:3]):
+        _reject(policy, boundary, "mask_shape",
+                f"mask shape {mask.shape} does not match tensors "
+                f"{tensors_shape[:3]}")
+    if mask.dtype != np.bool_:
+        if policy.strict:
+            _reject(policy, boundary, "mask_dtype",
+                    f"mask dtype {mask.dtype} is not bool")
+        values = np.unique(mask)
+        if not np.isin(values, (0, 1)).all():
+            _reject(policy, boundary, "mask_dtype",
+                    f"mask is {mask.dtype} with non-0/1 values "
+                    f"{values[:5]}; cannot repair to bool")
+        _note(policy, "contract_repair", boundary, "mask_dtype",
+              dtype=str(mask.dtype))
+        mask = mask.astype(bool)
+    return mask
+
+
+def check_histograms(tensors: np.ndarray, mask: np.ndarray, boundary: str,
+                     policy: Optional[ContractPolicy] = None
+                     ) -> Tuple[np.ndarray, np.ndarray, int, int]:
+    """Validate per-cell histograms of observed cells.
+
+    Every observed cell (``mask`` true) must hold a non-negative
+    histogram summing to 1.  Two failure classes:
+
+    * **drifted** — finite, non-negative, positive sum ≠ 1 (float32
+      round-trips, upstream aggregation bugs): repaired by renormalizing
+      in place;
+    * **malformed** — zero/negative sum or negative buckets under an
+      observed mask: unusable, quarantined by clearing the mask and
+      zeroing the cell.
+
+    Both mutate ``tensors``/``mask`` in place under ``repair`` (one
+    telemetry event per class per call, carrying the counts); ``strict``
+    raises instead.  Returns ``(tensors, mask, n_drifted,
+    n_quarantined)``.  NaN/Inf must have been rejected beforehand
+    (:func:`check_finite`).
+    """
+    policy = _resolve(policy)
+    if not policy.enabled:
+        return tensors, mask, 0, 0
+    sums = tensors.sum(axis=-1)
+    negative = (tensors < 0).any(axis=-1)
+    malformed = mask & ((sums <= 0) | negative)
+    drifted = (mask & ~malformed
+               & (np.abs(sums - 1.0) > policy.histogram_atol))
+    n_malformed = int(malformed.sum())
+    n_drifted = int(drifted.sum())
+    if policy.strict and (n_malformed or n_drifted):
+        _reject(policy, boundary, "histogram",
+                f"{n_malformed} malformed and {n_drifted} drifted "
+                f"histograms under an observed mask "
+                f"(atol={policy.histogram_atol})")
+    if n_drifted:
+        tensors[drifted] /= sums[drifted][..., None]
+        _note(policy, "contract_repair", boundary, "histogram_drift",
+              n_cells=n_drifted)
+    if n_malformed:
+        tensors[malformed] = 0.0
+        mask[malformed] = False
+        _note(policy, "contract_quarantine", boundary,
+              "malformed_histogram", n_cells=n_malformed)
+    return tensors, mask, n_drifted, n_malformed
+
+
+def check_symmetric_adjacency(weights: np.ndarray, name: str,
+                              boundary: str,
+                              policy: Optional[ContractPolicy] = None
+                              ) -> np.ndarray:
+    """Validate a proximity/adjacency matrix: finite, square, symmetric,
+    non-negative.  Repair symmetrizes (``(W + Wᵀ)/2``) and clips
+    negative weights to zero, with a telemetry event; strict raises.
+    Returns the (possibly repaired) matrix.
+    """
+    policy = _resolve(policy)
+    weights = np.asarray(weights, dtype=np.float64)
+    if not policy.enabled:
+        return weights
+    if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
+        _reject(policy, boundary, "adjacency_shape",
+                f"{name} must be square, got shape {weights.shape}")
+    check_finite(weights, name, boundary, policy)
+    asym = float(np.abs(weights - weights.T).max())
+    negative = int((weights < 0).sum())
+    if asym <= policy.adjacency_atol and not negative:
+        return weights
+    if policy.strict:
+        _reject(policy, boundary, "adjacency",
+                f"{name} is not a valid adjacency: max asymmetry "
+                f"{asym:.3e}, {negative} negative entries")
+    if asym > policy.adjacency_atol:
+        weights = 0.5 * (weights + weights.T)
+    if negative:
+        weights = np.clip(weights, 0.0, None)
+    _note(policy, "contract_repair", boundary, "adjacency",
+          max_asymmetry=asym, n_negative=negative)
+    return weights
+
+
+# ----------------------------------------------------------------------
+# composite boundary check
+# ----------------------------------------------------------------------
+def validate_sequence(sequence, boundary: str,
+                      policy: Optional[ContractPolicy] = None):
+    """Run the full OD-tensor-sequence contract at a pipeline boundary.
+
+    Finite (hard error) → mask shape/dtype (repair: cast) → observed
+    histograms (repair: renormalize drift, quarantine malformed).
+    Repairs mutate the sequence in place; returns it for chaining.
+    """
+    policy = _resolve(policy)
+    if not policy.enabled:
+        return sequence
+    check_finite(sequence.tensors, "tensors", boundary, policy)
+    check_finite(sequence.counts, "counts", boundary, policy)
+    sequence.mask = check_mask(sequence.mask, sequence.tensors.shape,
+                               boundary, policy)
+    check_histograms(sequence.tensors, sequence.mask, boundary, policy)
+    return sequence

@@ -11,7 +11,8 @@ from .losses import (af_loss, bf_loss, factor_dirichlet, factor_frobenius,
 from .recovery import recover
 from .spatial import (DEFAULT_BLOCKS, GCNNBlock, SpatialFactorizer,
                       factorize_tensor_batch)
-from .trainer import TrainConfig, Trainer, TrainResult
+from .trainer import (NonFiniteGradError, TrainConfig, Trainer,
+                      TrainResult)
 
 __all__ = [
     "BasicFramework", "AdvancedFramework",

@@ -17,6 +17,8 @@ import numpy as np
 from ..autodiff.layers import Dropout
 from ..autodiff.module import Module
 from ..autodiff.tensor import Tensor
+from ..contracts import (check_finite, check_shape_dtype,
+                         get_contract_policy)
 from .cnrnn import GraphSeq2Seq, twin_forecast
 from .recovery import recover
 from .spatial import (DEFAULT_BLOCKS, GCNNBlock, SpatialFactorizer,
@@ -88,6 +90,13 @@ class AdvancedFramework(Module):
         if x.ndim != 5:
             raise ValueError(f"history must be (B, s, N, N', K), "
                              f"got shape {x.shape}")
+        policy = get_contract_policy()
+        if policy.enabled:
+            check_shape_dtype(
+                x.data, "history", "AF.forward", policy=policy,
+                shape=(None, None, self.n_origins, self.n_destinations,
+                       self.n_buckets))
+            check_finite(x.data, "history", "AF.forward", policy)
         batch, steps = x.shape[0], x.shape[1]
         n, n_prime, k = self.n_origins, self.n_destinations, self.n_buckets
 

@@ -19,6 +19,8 @@ from ..autodiff.layers import Dropout, Linear
 from ..autodiff.module import Module
 from ..autodiff.rnn import Seq2Seq
 from ..autodiff.tensor import Tensor
+from ..contracts import (check_finite, check_shape_dtype,
+                         get_contract_policy)
 from .recovery import recover
 
 
@@ -92,6 +94,13 @@ class BasicFramework(Module):
         if x.ndim != 5:
             raise ValueError(f"history must be (B, s, N, N', K), "
                              f"got shape {x.shape}")
+        policy = get_contract_policy()
+        if policy.enabled:
+            check_shape_dtype(
+                x.data, "history", "BF.forward", policy=policy,
+                shape=(None, None, self.n_origins, self.n_destinations,
+                       self.n_buckets))
+            check_finite(x.data, "history", "BF.forward", policy)
         batch, steps = x.shape[0], x.shape[1]
         flat = x.reshape(batch, steps, -1)
         codes_r = self.drop_r(ops.relu(self.encode_r(flat)))

@@ -16,9 +16,20 @@ from typing import Tuple
 
 import numpy as np
 
+from ..contracts import (ContractPolicy, contract_policy,
+                         get_contract_policy, set_contract_policy)
 from .af import AdvancedFramework
 from .bf import BasicFramework
 from .spatial import GCNNBlock
+
+__all__ = [
+    "PaperHyperParameters", "PracticalHyperParameters",
+    "paper_bf", "paper_af", "practical_bf", "practical_af",
+    # Contract policy selection lives with the other model/run
+    # configuration knobs; the implementation is repro.contracts.
+    "ContractPolicy", "contract_policy", "get_contract_policy",
+    "set_contract_policy",
+]
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,7 @@ import numpy as np
 from ..autodiff.module import Module
 from ..autodiff.optim import Adam, StepDecay, clip_grad_norm
 from ..autodiff.tensor import Tensor
+from ..contracts import check_finite, get_contract_policy
 from ..histograms.windows import Split, WindowDataset
 from ..telemetry import TelemetrySink, emit, peak_rss_mb
 from .losses import masked_frobenius
@@ -35,6 +36,25 @@ LossFn = Callable[[Tensor, np.ndarray, np.ndarray,
 #: Rolling-checkpoint and best-weights file names inside checkpoint_dir.
 CHECKPOINT_NAME = "checkpoint.npz"
 BEST_NAME = "best.npz"
+
+#: Valid settings for TrainConfig.on_nonfinite_grad.
+NONFINITE_GRAD_POLICIES = ("skip", "halve_lr", "abort")
+
+
+class NonFiniteGradError(FloatingPointError):
+    """A training batch produced a NaN/Inf gradient and the configured
+    policy is ``"abort"`` (see :class:`TrainConfig.on_nonfinite_grad`).
+
+    Carries ``epoch`` and ``batch`` so harnesses can report where the
+    gradient blew up; rerun inside
+    :func:`repro.autodiff.detect_anomaly` to learn *which op* produced
+    the first non-finite value.
+    """
+
+    def __init__(self, message: str, epoch: int = -1, batch: int = -1):
+        super().__init__(message)
+        self.epoch = epoch
+        self.batch = batch
 
 
 @dataclass
@@ -52,6 +72,19 @@ class TrainConfig:
     max_train_batches: Optional[int] = None
     max_val_batches: Optional[int] = None
     verbose: bool = False
+    #: What to do when a batch yields a non-finite gradient norm:
+    #: ``"skip"`` drops the update and keeps going, ``"halve_lr"`` drops
+    #: the update and halves the learning rate, ``"abort"`` raises
+    #: :class:`NonFiniteGradError`.  Every occurrence emits a
+    #: ``nonfinite_grad`` telemetry event.
+    on_nonfinite_grad: str = "skip"
+
+    def __post_init__(self):
+        if self.on_nonfinite_grad not in NONFINITE_GRAD_POLICIES:
+            raise ValueError(
+                f"on_nonfinite_grad must be one of "
+                f"{NONFINITE_GRAD_POLICIES}, got "
+                f"{self.on_nonfinite_grad!r}")
 
 
 @dataclass
@@ -83,6 +116,15 @@ def _module_rngs(model: Module) -> List[np.random.Generator]:
     return rngs
 
 
+def _global_grad_norm(parameters) -> float:
+    """L2 norm over all parameter gradients (NaN/Inf propagate)."""
+    total = 0.0
+    for parameter in parameters:
+        if parameter.grad is not None:
+            total += float(np.sum(np.square(parameter.grad)))
+    return float(np.sqrt(total))
+
+
 class Trainer:
     """Fits a forecasting model on windowed OD tensor data.
 
@@ -107,7 +149,8 @@ class Trainer:
     def fit(self, dataset: WindowDataset, split: Split, horizon: int,
             checkpoint_dir: Optional[str] = None,
             checkpoint_every: int = 1, resume: bool = False,
-            telemetry: TelemetrySink = None) -> TrainResult:
+            telemetry: TelemetrySink = None,
+            after_backward: Optional[Callable] = None) -> TrainResult:
         """Train with early stopping; optionally crash-safe.
 
         With ``checkpoint_dir`` set, a rolling ``checkpoint.npz`` is
@@ -115,8 +158,19 @@ class Trainer:
         ``best.npz`` tracks the best validation weights.  ``resume=True``
         picks up from the rolling checkpoint (if present) and produces
         bit-identical final weights and loss curves versus a run that
-        was never interrupted.  ``telemetry`` receives the per-epoch
-        events documented in :mod:`repro.telemetry`.
+        was never interrupted; a corrupt rolling checkpoint falls back
+        to ``best.npz`` with a warning instead of crashing.
+        ``telemetry`` receives the per-epoch events documented in
+        :mod:`repro.telemetry`.  ``after_backward(model, epoch, batch)``
+        is called after each backward pass, before gradient clipping —
+        the hook point used by :mod:`repro.faultinject` to poison
+        gradients; user callbacks may also inspect or edit them here.
+
+        Incoming batches are checked against the data contract
+        (non-finite histories/targets hard-error, boundary
+        ``"trainer.fit"``) unless the process-wide contract policy is
+        ``"off"``.  Non-finite *gradients* are governed by
+        :attr:`TrainConfig.on_nonfinite_grad`.
         """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
@@ -132,10 +186,11 @@ class Trainer:
             best_path = directory / BEST_NAME
             if resume and checkpoint_path.exists():
                 start_epoch, best_state, stall = self._restore(
-                    checkpoint_path, rng, result)
+                    checkpoint_path, best_path, rng, result, telemetry)
         emit(telemetry, "fit_start", epochs=cfg.epochs,
              start_epoch=start_epoch, n_train=len(split.train),
              n_val=len(split.val))
+        contracts = get_contract_policy()
         start = time.time() - result.seconds    # accumulate across resumes
         for epoch in range(start_epoch, cfg.epochs):
             epoch_start = time.time()
@@ -147,15 +202,29 @@ class Trainer:
                 if cfg.max_train_batches is not None \
                         and b >= cfg.max_train_batches:
                     break
+                if contracts.enabled:
+                    check_finite(histories, f"batch[{b}] histories",
+                                 "trainer.fit", contracts)
+                    check_finite(targets, f"batch[{b}] targets",
+                                 "trainer.fit", contracts)
                 prediction, r, c = self.model(histories, horizon)
                 loss = self.loss_fn(prediction, targets, masks, r, c)
                 # optimizer.zero_grad clears the cached parameter list
                 # directly instead of re-walking the module tree.
                 self.optimizer.zero_grad()
                 loss.backward()
+                if after_backward is not None:
+                    after_backward(self.model, epoch, b)
                 if cfg.clip_norm:
-                    grad_norms.append(clip_grad_norm(
-                        self.model.parameters(), cfg.clip_norm))
+                    grad_norm = clip_grad_norm(
+                        self.model.parameters(), cfg.clip_norm)
+                else:
+                    grad_norm = _global_grad_norm(self.model.parameters())
+                if not np.isfinite(grad_norm):
+                    self._handle_nonfinite_grad(grad_norm, epoch, b,
+                                                telemetry)
+                    continue    # never step on a poisoned gradient
+                grad_norms.append(grad_norm)
                 self.optimizer.step()
                 epoch_losses.append(loss.item())
             self.scheduler.step()
@@ -215,6 +284,34 @@ class Trainer:
         return result
 
     # ------------------------------------------------------------------
+    def _handle_nonfinite_grad(self, grad_norm: float, epoch: int,
+                               batch: int,
+                               telemetry: TelemetrySink) -> None:
+        """Apply :attr:`TrainConfig.on_nonfinite_grad`.
+
+        The caller has already decided to drop the update; this method
+        only reports and applies the policy's side effect.
+        """
+        action = self.config.on_nonfinite_grad
+        emit(telemetry, "nonfinite_grad", epoch=epoch, batch=batch,
+             grad_norm=float(grad_norm), action=action,
+             lr=self.optimizer.lr)
+        if action == "abort":
+            raise NonFiniteGradError(
+                f"gradient norm became {grad_norm} at epoch {epoch + 1}, "
+                f"batch {batch} (on_nonfinite_grad='abort'); rerun under "
+                f"repro.autodiff.detect_anomaly() to find the op that "
+                f"produced it", epoch=epoch, batch=batch)
+        if action == "halve_lr":
+            # Through the scheduler, so the halving sticks across its
+            # per-epoch recompute and across checkpoint resumes.
+            self.scheduler.scale_lr(0.5)
+        warnings.warn(
+            f"non-finite gradient norm ({grad_norm}) at epoch "
+            f"{epoch + 1}, batch {batch}; update dropped "
+            f"(policy: {action})", RuntimeWarning)
+
+    # ------------------------------------------------------------------
     def _checkpoint(self, path: Path, epoch: int,
                     rng: np.random.Generator, result: TrainResult,
                     best_state: dict, stall: int) -> None:
@@ -228,13 +325,35 @@ class Trainer:
                    "module_rng": [g.bit_generator.state
                                   for g in _module_rngs(self.model)]})
 
-    def _restore(self, path: Path, rng: np.random.Generator,
-                 result: TrainResult):
-        """Load the rolling checkpoint into the live training objects."""
-        from ..persistence import load_checkpoint
-        checkpoint = load_checkpoint(path, model=self.model,
-                                     optimizer=self.optimizer,
-                                     scheduler=self.scheduler)
+    def _restore(self, path: Path, best_path: Optional[Path],
+                 rng: np.random.Generator, result: TrainResult,
+                 telemetry: TelemetrySink = None):
+        """Load the rolling checkpoint into the live training objects.
+
+        A corrupt rolling checkpoint (truncated or bit-flipped on disk)
+        does not kill the run: training falls back to the ``best.npz``
+        weights if present — restarting the epoch count, since optimizer
+        and curve state died with the checkpoint — or to a fresh start,
+        each with a warning and a ``checkpoint_fallback`` telemetry
+        event.
+        """
+        from ..persistence import CheckpointCorruptError, load_checkpoint
+        try:
+            checkpoint = load_checkpoint(path, model=self.model,
+                                         optimizer=self.optimizer,
+                                         scheduler=self.scheduler)
+        except CheckpointCorruptError as exc:
+            fallback = "fresh start"
+            if best_path is not None and best_path.exists():
+                from ..persistence import load_model
+                load_model(self.model, best_path)
+                fallback = f"best weights from {best_path.name}"
+            warnings.warn(
+                f"rolling checkpoint {path} is corrupt ({exc}); "
+                f"resuming from {fallback} at epoch 1", RuntimeWarning)
+            emit(telemetry, "checkpoint_fallback", path=str(path),
+                 fallback=fallback, error=str(exc))
+            return 0, self.model.state_dict(), 0
         if checkpoint.rng_state is not None:
             rng.bit_generator.state = checkpoint.rng_state
         module_states = checkpoint.extra.get("module_rng", [])

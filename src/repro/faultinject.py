@@ -1,0 +1,197 @@
+"""Deterministic fault injection for robustness testing.
+
+A reproduction that only ever sees clean synthetic data never exercises
+its failure paths.  This module is the chaos half of the robustness
+stack (:mod:`repro.contracts` and the trainer/persistence hardening are
+the defense half): seeded, composable injectors that corrupt data,
+gradients, checkpoint files, and roster workers the way real pipelines
+do, so ``benchmarks/chaos_smoke.py`` and the tests can prove every
+fault class is repaired, quarantined, or cleanly reported.
+
+Injectors by fault class
+------------------------
+data (feeds :mod:`repro.contracts`)
+    :func:`drift_histograms` — rescale observed histograms so they no
+    longer sum to 1 (float round-trips, upstream aggregation bugs);
+    :func:`drop_cells` — zero observed cells while leaving the mask set
+    (dropped feed messages), producing quarantine candidates;
+    :func:`poison_nan` — write NaN into tensor cells (must hard-error).
+training (hooks ``Trainer.fit(after_backward=...)``)
+    :class:`NaNGradInjector` — overwrite one parameter's gradient with
+    NaN at chosen (epoch, batch) points, exercising
+    ``TrainConfig.on_nonfinite_grad``.
+persistence
+    :func:`corrupt_file` — truncate or bit-flip a file on disk,
+    exercising :class:`~repro.persistence.CheckpointCorruptError` and
+    the trainer's best.npz fallback.
+processes (wraps a roster method factory)
+    :func:`kill_once` — make a method's worker die with ``os._exit``
+    on its first attempt and run normally on retry, exercising
+    ``run_comparison``'s retry loop.
+
+Every injector takes an explicit seed (or derives all randomness from
+one), so a chaos run is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "drift_histograms", "drop_cells", "poison_nan",
+    "NaNGradInjector", "corrupt_file", "kill_once",
+]
+
+
+# ----------------------------------------------------------------------
+# data faults
+# ----------------------------------------------------------------------
+def _observed_cells(mask: np.ndarray, rng: np.random.Generator,
+                    fraction: float) -> Tuple[np.ndarray, ...]:
+    """Pick ``fraction`` of the observed cells, as an index tuple."""
+    observed = np.argwhere(mask)
+    if len(observed) == 0:
+        return tuple(np.empty(0, dtype=np.intp) for _ in range(mask.ndim))
+    n = max(1, int(round(fraction * len(observed))))
+    chosen = observed[rng.choice(len(observed), size=n, replace=False)]
+    return tuple(chosen.T)
+
+
+def drift_histograms(tensors: np.ndarray, mask: np.ndarray, seed: int,
+                     fraction: float = 0.1,
+                     scale_range: Tuple[float, float] = (0.5, 1.5)
+                     ) -> int:
+    """Rescale a fraction of observed histograms so they stop summing
+    to 1 (in place).  Returns the number of drifted cells.
+
+    The per-cell scale is drawn uniformly from ``scale_range``; shapes
+    are preserved, only the normalization breaks — exactly the damage
+    :func:`repro.contracts.check_histograms` classifies as *drifted*
+    and repairs by renormalizing.
+    """
+    rng = np.random.default_rng(seed)
+    cells = _observed_cells(mask, rng, fraction)
+    n = len(cells[0])
+    if n:
+        scales = rng.uniform(*scale_range, size=n)
+        tensors[cells] *= scales[:, None]
+    return n
+
+
+def drop_cells(tensors: np.ndarray, mask: np.ndarray, seed: int,
+               fraction: float = 0.05) -> int:
+    """Zero a fraction of observed cells *without* clearing their mask
+    (in place).  Returns the number of dropped cells.
+
+    This is the "dropped feed message" fault: the mask claims the cell
+    was observed but the histogram is all-zero — unusable, so
+    :func:`repro.contracts.check_histograms` must quarantine it.
+    """
+    rng = np.random.default_rng(seed)
+    cells = _observed_cells(mask, rng, fraction)
+    tensors[cells] = 0.0
+    return len(cells[0])
+
+
+def poison_nan(tensors: np.ndarray, seed: int, n_cells: int = 1) -> int:
+    """Write NaN into ``n_cells`` random tensor cells (in place).
+
+    NaN is the one fault no contract may repair — boundaries must
+    hard-error (:func:`repro.contracts.check_finite`).
+    """
+    rng = np.random.default_rng(seed)
+    flat = tensors.reshape(-1)
+    chosen = rng.choice(flat.size, size=min(n_cells, flat.size),
+                        replace=False)
+    flat[chosen] = np.nan
+    return len(chosen)
+
+
+# ----------------------------------------------------------------------
+# gradient faults
+# ----------------------------------------------------------------------
+class NaNGradInjector:
+    """``Trainer.fit(after_backward=...)`` hook poisoning gradients.
+
+    At each (epoch, batch) pair in ``at``, one parameter's gradient is
+    overwritten with NaN after the backward pass — upstream of gradient
+    clipping, exactly where a numerically unstable op would surface.
+    The parameter hit is chosen deterministically from ``seed``.
+
+    Attributes
+    ----------
+    injected:
+        List of (epoch, batch) pairs actually poisoned, for asserting
+        the harness really fired.
+    """
+
+    def __init__(self, at: Iterable[Tuple[int, int]], seed: int = 0):
+        self.at = set(at)
+        self.rng = np.random.default_rng(seed)
+        self.injected = []
+
+    def __call__(self, model, epoch: int, batch: int) -> None:
+        if (epoch, batch) not in self.at:
+            return
+        parameters = [p for p in model.parameters() if p.grad is not None]
+        if not parameters:
+            return
+        target = parameters[int(self.rng.integers(len(parameters)))]
+        target.grad = np.full_like(np.asarray(target.grad), np.nan)
+        self.injected.append((epoch, batch))
+
+
+# ----------------------------------------------------------------------
+# file faults
+# ----------------------------------------------------------------------
+def corrupt_file(path: Union[str, Path], seed: int,
+                 mode: str = "bitflip", n_bits: int = 8,
+                 keep_fraction: float = 0.6) -> None:
+    """Corrupt a file on disk the way hardware and crashes do.
+
+    ``mode="truncate"`` keeps only the leading ``keep_fraction`` of the
+    bytes (a crash mid-write without atomic rename); ``mode="bitflip"``
+    flips ``n_bits`` random bits in place (disk/bus corruption).  Both
+    keep the file present and plausible-looking, which is exactly why
+    loaders need integrity checks rather than existence checks.
+    """
+    path = Path(path)
+    payload = bytearray(path.read_bytes())
+    if mode == "truncate":
+        del payload[max(1, int(len(payload) * keep_fraction)):]
+    elif mode == "bitflip":
+        rng = np.random.default_rng(seed)
+        for position in rng.integers(0, len(payload), size=n_bits):
+            payload[position] ^= 1 << int(rng.integers(8))
+    else:
+        raise ValueError(f"mode must be 'truncate' or 'bitflip', "
+                         f"got {mode!r}")
+    path.write_bytes(bytes(payload))
+
+
+# ----------------------------------------------------------------------
+# process faults
+# ----------------------------------------------------------------------
+def kill_once(factory, marker: Union[str, Path], exit_code: int = 13):
+    """Wrap a roster method factory so its worker dies on first attempt.
+
+    The returned factory checks ``marker`` (a path, shared across the
+    forked workers via the filesystem): absent → create it and
+    ``os._exit(exit_code)`` mid-build, a death the parent cannot catch
+    as an exception; present → delegate to ``factory`` normally.  With
+    ``run_comparison(..., retries=1)`` the method must still succeed,
+    via the retry, which is what the chaos gate asserts.
+    """
+    marker = Path(marker)
+
+    def chaotic_factory(data):
+        if not marker.exists():
+            marker.write_text("worker killed by repro.faultinject\n")
+            os._exit(exit_code)
+        return factory(data)
+
+    return chaotic_factory

@@ -10,15 +10,19 @@ empty tensors, which every forecaster ignores at prediction time).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from .baselines.base import Forecaster
+from .contracts import (ContractPolicy, check_finite, validate_sequence)
 from .histograms.tensor_builder import ODTensorSequence
 from .histograms.windows import WindowDataset
 
 
 def forecast_latest(forecaster: Forecaster, sequence: ODTensorSequence,
-                    s: int, horizon: int) -> np.ndarray:
+                    s: int, horizon: int,
+                    policy: Optional[ContractPolicy] = None) -> np.ndarray:
     """Forecast the ``horizon`` intervals following the sequence's end.
 
     Parameters
@@ -31,6 +35,12 @@ def forecast_latest(forecaster: Forecaster, sequence: ODTensorSequence,
         model input.
     s, horizon:
         History length and number of future intervals.
+    policy:
+        Contract policy for the facade boundary (default: the
+        process-wide one).  The incoming sequence runs the full data
+        contract — this is the last gate before an operational model
+        sees live data — and the outgoing prediction is checked finite,
+        so a silently diverged model cannot serve NaN forecasts.
 
     Returns
     -------
@@ -40,6 +50,7 @@ def forecast_latest(forecaster: Forecaster, sequence: ODTensorSequence,
         raise ValueError(
             f"need at least s={s} observed intervals, have "
             f"{sequence.n_intervals}")
+    validate_sequence(sequence, "forecast_latest", policy)
     t, n, n_prime, k = sequence.tensors.shape
     pad_shape = (horizon, n, n_prime, k)
     padded = ODTensorSequence(
@@ -50,8 +61,10 @@ def forecast_latest(forecaster: Forecaster, sequence: ODTensorSequence,
         counts=np.concatenate([sequence.counts,
                                np.zeros(pad_shape[:3])]),
         spec=sequence.spec,
-        interval_minutes=sequence.interval_minutes)
+        interval_minutes=sequence.interval_minutes,
+        _validated=True)    # validated above; padding is trivially clean
     windows = WindowDataset(padded, s=s, h=horizon)
     last = len(windows) - 1   # history = final s real intervals
     prediction = forecaster.predict(windows, np.array([last]), horizon)
+    check_finite(prediction[0], "prediction", "forecast_latest", policy)
     return prediction[0]

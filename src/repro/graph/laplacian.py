@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import check_symmetric_adjacency
+
 
 def laplacian(weights: np.ndarray) -> np.ndarray:
     """Combinatorial Laplacian ``L = D - W`` of a weighted graph."""
@@ -61,7 +63,17 @@ def scaled_laplacian(weights: np.ndarray,
         omitted.
     normalized:
         Use the symmetric normalized Laplacian instead of ``D - W``.
+
+    This is the boundary where external proximity data enters the graph
+    models (ChebConv builds its basis here), so the adjacency contract
+    runs first: non-finite weights hard-error; asymmetric or negative
+    weights are symmetrized/clipped under the ``repair`` policy or
+    rejected under ``strict`` (:mod:`repro.contracts`).  The low-level
+    :func:`laplacian` keeps its own hard symmetry precondition for
+    direct callers.
     """
+    weights = check_symmetric_adjacency(weights, "weights",
+                                        "build_laplacian")
     lap = normalized_laplacian(weights) if normalized else laplacian(weights)
     n = lap.shape[0]
     # (Near-)edgeless graphs — including denormal edge weights that make

@@ -11,7 +11,7 @@ metric).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -45,6 +45,9 @@ class ODTensorSequence:
     counts: np.ndarray
     spec: HistogramSpec
     interval_minutes: float
+    #: Set for sequences derived from an already-validated one (slices)
+    #: so the construction-time contract check is not repeated.
+    _validated: bool = field(default=False, repr=False, compare=False)
 
     def __post_init__(self):
         if self.tensors.ndim != 4:
@@ -54,6 +57,14 @@ class ODTensorSequence:
             raise ValueError("mask shape must match tensors[:3]")
         if self.counts.shape != self.mask.shape:
             raise ValueError("counts shape must match mask")
+        # Data contract at the construction boundary: NaN hard-errors,
+        # non-bool masks are cast, drifted/malformed observed histograms
+        # are renormalized/quarantined per the active ContractPolicy
+        # (sliced views skip the re-check — the parent already ran it).
+        if not getattr(self, "_validated", False):
+            from ..contracts import get_contract_policy, validate_sequence
+            if get_contract_policy().enabled:
+                validate_sequence(self, "ODTensorSequence")
 
     @property
     def n_intervals(self) -> int:
@@ -84,7 +95,8 @@ class ODTensorSequence:
         return ODTensorSequence(self.tensors[start:stop],
                                 self.mask[start:stop],
                                 self.counts[start:stop],
-                                self.spec, self.interval_minutes)
+                                self.spec, self.interval_minutes,
+                                _validated=True)
 
 
 def build_od_tensors(trips: TripTable, city: City,

@@ -20,8 +20,11 @@ readable without this library:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import zipfile
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -29,6 +32,7 @@ from typing import Dict, Optional, Union
 import numpy as np
 
 from .autodiff.module import Module
+from .contracts import ContractPolicy, check_finite, validate_sequence
 from .experiments.runner import ComparisonResult, MethodResult
 from .histograms.histogram import HistogramSpec
 from .histograms.tensor_builder import ODTensorSequence
@@ -38,6 +42,35 @@ PathLike = Union[str, Path]
 
 #: Bumped when the on-disk checkpoint layout changes incompatibly.
 CHECKPOINT_FORMAT_VERSION = 1
+
+
+class CheckpointCorruptError(ValueError):
+    """A checkpoint file is unreadable or fails its integrity checks.
+
+    Raised for truncated archives, bit-flipped payloads (zip CRC or
+    embedded SHA-256 mismatch), and files that are not checkpoints at
+    all — never the raw ``zipfile``/``KeyError`` tracebacks those would
+    otherwise surface as.  Subclasses :class:`ValueError` so existing
+    ``except ValueError`` callers keep working.
+    """
+
+
+def _state_digest(arrays: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over every array's name, dtype, shape, and bytes.
+
+    Iteration is name-sorted so the digest is layout-independent; the
+    ``__meta__`` entry is excluded (the digest is stored inside it).
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        if name == "__meta__":
+            continue
+        value = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(value.dtype).encode("utf-8"))
+        digest.update(str(value.shape).encode("utf-8"))
+        digest.update(value.tobytes())
+    return digest.hexdigest()
 
 
 def _meta_json(meta: dict) -> np.ndarray:
@@ -151,8 +184,26 @@ def save_checkpoint(path: PathLike, model: Module, optimizer=None,
         meta["result"] = result
     if extra:
         meta["extra"] = extra
+    # Embedded integrity checksum: recomputed on load so silent on-disk
+    # corruption (bit flips that keep the zip structure intact) is
+    # caught as CheckpointCorruptError instead of restoring garbage.
+    meta["checksum"] = _state_digest(arrays)
     arrays["__meta__"] = _meta_json(meta)
     _atomic_savez(Path(path), arrays)
+
+
+def _read_npz_entries(path: PathLike, kind: str) -> Dict[str, np.ndarray]:
+    """Read every array of an ``.npz``, mapping low-level failures
+    (truncated file, bad zip, CRC mismatch, mangled pickle headers) to
+    :class:`CheckpointCorruptError`."""
+    try:
+        with np.load(str(path)) as archive:
+            return {name: archive[name] for name in archive.files}
+    except (zipfile.BadZipFile, zlib.error, OSError, EOFError, KeyError,
+            ValueError) as exc:
+        raise CheckpointCorruptError(
+            f"{path} is not a readable {kind} "
+            f"({type(exc).__name__}: {exc})") from exc
 
 
 def load_checkpoint(path: PathLike, model: Optional[Module] = None,
@@ -161,17 +212,38 @@ def load_checkpoint(path: PathLike, model: Optional[Module] = None,
 
     Returns the full :class:`Checkpoint` so callers can also recover the
     epoch counter, RNG state, learning curves, and best-so-far weights.
+    Raises :class:`CheckpointCorruptError` for truncated/bit-flipped/
+    wrong-schema files (see :class:`~repro.core.trainer.Trainer`, whose
+    resume path falls back to ``best.npz`` on corruption).
     """
-    with np.load(str(path)) as archive:
-        entries = {name: archive[name] for name in archive.files}
+    entries = _read_npz_entries(path, "checkpoint")
     if "__meta__" not in entries:
-        raise ValueError(f"{path} is not a checkpoint (missing __meta__)")
-    meta = json.loads(bytes(entries.pop("__meta__")).decode("utf-8"))
+        raise CheckpointCorruptError(
+            f"{path} is not a checkpoint (missing __meta__ entry; "
+            f"found {sorted(entries)[:5]})")
+    try:
+        meta = json.loads(bytes(entries.pop("__meta__")).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointCorruptError(
+            f"{path} has an unreadable __meta__ record "
+            f"({type(exc).__name__}: {exc})") from exc
+    if not isinstance(meta, dict):
+        raise CheckpointCorruptError(
+            f"{path} __meta__ is {type(meta).__name__}, expected a dict")
+    expected = meta.get("checksum")
+    if expected is not None and _state_digest(entries) != expected:
+        raise CheckpointCorruptError(
+            f"{path} failed its integrity check: embedded SHA-256 does "
+            f"not match the stored arrays (file corrupted on disk?)")
     version = meta.get("format_version")
     if version != CHECKPOINT_FORMAT_VERSION:
         raise ValueError(
             f"unsupported checkpoint format {version!r} "
             f"(expected {CHECKPOINT_FORMAT_VERSION})")
+    if "epoch" not in meta:
+        raise CheckpointCorruptError(
+            f"{path} has checkpoint metadata but no epoch record "
+            f"(keys: {sorted(meta)})")
     model_state, best_state, optim_slots = {}, {}, {}
     for name, value in entries.items():
         kind, _, rest = name.partition("/")
@@ -189,6 +261,8 @@ def load_checkpoint(path: PathLike, model: Optional[Module] = None,
         for slot, indexed in optim_slots.items():
             optimizer_state[slot] = [indexed[i]
                                      for i in sorted(indexed)]
+    for name, value in model_state.items():
+        check_finite(value, f"model/{name}", "load_checkpoint")
     checkpoint = Checkpoint(
         epoch=int(meta["epoch"]),
         model_state=model_state,
@@ -282,25 +356,40 @@ def save_sequence(sequence: ODTensorSequence, path: PathLike) -> None:
         interval_minutes=np.float64(sequence.interval_minutes))
 
 
-def load_sequence(path: PathLike) -> ODTensorSequence:
+def load_sequence(path: PathLike,
+                  policy: Optional[ContractPolicy] = None
+                  ) -> ODTensorSequence:
     """Load a sequence saved by :func:`save_sequence`.
 
     Restores float64 and renormalizes each observed cell's histogram to
     sum to exactly 1 again, undoing the float32 quantization of
     :func:`save_sequence` (empty cells — all-zero histograms — are left
-    untouched).
+    untouched).  The reloaded sequence then passes through the full
+    data contract (:func:`repro.contracts.validate_sequence`, boundary
+    ``"load_sequence"``) under ``policy`` (default: the process-wide
+    :func:`~repro.contracts.get_contract_policy`), so NaN payloads
+    hard-error and malformed cells are quarantined rather than fed to
+    training.
     """
-    with np.load(str(path)) as archive:
-        spec = HistogramSpec(edges=tuple(archive["edges"]))
-        tensors = archive["tensors"].astype(np.float64)
-        totals = tensors.sum(axis=-1, keepdims=True)
+    entries = _read_npz_entries(path, "tensor-sequence archive")
+    for key in ("tensors", "mask", "counts", "edges", "interval_minutes"):
+        if key not in entries:
+            raise CheckpointCorruptError(
+                f"{path} is not a tensor-sequence archive "
+                f"(missing {key!r}; found {sorted(entries)[:6]})")
+    spec = HistogramSpec(edges=tuple(entries["edges"]))
+    tensors = entries["tensors"].astype(np.float64)
+    totals = tensors.sum(axis=-1, keepdims=True)
+    with np.errstate(invalid="ignore"):
         np.divide(tensors, totals, out=tensors, where=totals > 0)
-        return ODTensorSequence(
-            tensors=tensors,
-            mask=archive["mask"].astype(bool),
-            counts=archive["counts"].astype(np.float64),
-            spec=spec,
-            interval_minutes=float(archive["interval_minutes"]))
+    sequence = ODTensorSequence(
+        tensors=tensors,
+        mask=entries["mask"].astype(bool),
+        counts=entries["counts"].astype(np.float64),
+        spec=spec,
+        interval_minutes=float(entries["interval_minutes"]),
+        _validated=True)    # validated just below, with the caller's policy
+    return validate_sequence(sequence, "load_sequence", policy)
 
 
 # ----------------------------------------------------------------------

@@ -29,6 +29,16 @@ Event schema (stable; documented in ``docs/CHECKPOINTING.md``)
 ``method_fail``   ``method, error, attempt``
 ``method_skip``   ``method, reason`` (artifact-dir resume)
 
+Robustness events (see ``docs/ROBUSTNESS.md``)
+----------------------------------------------
+``nonfinite_grad``       ``epoch, batch, grad_norm, action, lr``
+``checkpoint_fallback``  ``path, fallback, error`` (corrupt rolling
+                         checkpoint; resumed from best.npz or fresh)
+``contract_repair``      ``boundary, kind, ...`` (what a data contract
+                         fixed in place, e.g. ``n_cells`` renormalized)
+``contract_quarantine``  ``boundary, kind, n_cells`` (observed cells
+                         whose histograms were unusable; mask cleared)
+
 Unknown extra fields may be added over time; consumers should ignore
 fields they do not recognize, and treat the ones above as stable.
 """

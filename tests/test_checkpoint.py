@@ -6,7 +6,9 @@ import pytest
 from repro.autodiff import SGD, Adam, StepDecay
 from repro.autodiff.module import Parameter
 from repro.core import BasicFramework, TrainConfig, Trainer, bf_loss
-from repro.persistence import (Checkpoint, load_checkpoint, load_model,
+from repro.faultinject import corrupt_file
+from repro.persistence import (Checkpoint, CheckpointCorruptError,
+                               load_checkpoint, load_model,
                                save_checkpoint)
 
 
@@ -164,6 +166,87 @@ class TestCheckpointFile:
         leftovers = [p.name for p in tmp_path.iterdir()
                      if p.name != "ckpt.npz"]
         assert leftovers == []
+
+
+class TestCorruptCheckpoint:
+    """Damaged checkpoint files must raise CheckpointCorruptError with a
+    readable message — never a zipfile/zlib/KeyError traceback."""
+
+    def _save(self, tmp_path):
+        model = _make_model()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, optimizer=Adam(model.parameters(),
+                                                    lr=0.1), epoch=1)
+        return path
+
+    def test_truncated_file(self, tmp_path):
+        path = self._save(tmp_path)
+        corrupt_file(path, seed=0, mode="truncate")
+        with pytest.raises(CheckpointCorruptError) as err:
+            load_checkpoint(path)
+        assert "ckpt.npz" in str(err.value)
+
+    def test_bit_flipped_file(self, tmp_path):
+        path = self._save(tmp_path)
+        corrupt_file(path, seed=1, mode="bitflip", n_bits=16)
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)
+
+    def test_not_even_a_zip(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz archive at all")
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)
+
+    def test_wrong_schema_missing_meta(self, tmp_path):
+        path = tmp_path / "weights.npz"
+        np.savez(path, w=np.zeros(3))
+        with pytest.raises(CheckpointCorruptError) as err:
+            load_checkpoint(path)
+        assert "__meta__" in str(err.value)
+
+    def test_wrong_schema_unreadable_meta(self, tmp_path):
+        path = tmp_path / "badmeta.npz"
+        np.savez(path, __meta__=np.frombuffer(b"not json{", dtype=np.uint8))
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)
+
+    def test_checksum_catches_swapped_arrays(self, tmp_path):
+        # Valid zip, valid JSON meta, but the stored arrays were altered
+        # after the fact: only the embedded SHA-256 can catch this.
+        path = self._save(tmp_path)
+        with np.load(path) as archive:
+            entries = {name: archive[name] for name in archive.files}
+        victim = next(n for n in entries if n.startswith("model/"))
+        entries[victim] = entries[victim] + 1.0
+        np.savez(path, **entries)
+        with pytest.raises(CheckpointCorruptError) as err:
+            load_checkpoint(path)
+        assert "SHA-256" in str(err.value)
+
+    def test_corrupt_error_is_a_value_error(self):
+        assert issubclass(CheckpointCorruptError, ValueError)
+
+    def test_trainer_falls_back_to_best_npz(self, tmp_path, windows,
+                                            split):
+        directory = tmp_path / "run"
+        cfg = dict(batch_size=8, max_train_batches=4, patience=10, seed=3)
+        trainer = Trainer(_make_model(), _loss,
+                          TrainConfig(epochs=2, **cfg))
+        trainer.fit(windows, split, horizon=2, checkpoint_dir=directory)
+        corrupt_file(directory / "checkpoint.npz", seed=2, mode="truncate")
+
+        resumed = Trainer(_make_model(), _loss,
+                          TrainConfig(epochs=2, **cfg))
+        events = []
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            result = resumed.fit(
+                windows, split, horizon=2, checkpoint_dir=directory,
+                resume=True,
+                telemetry=lambda e, f: events.append((e, f)))
+        assert len(result.val_losses) == 2       # retrained from scratch
+        fallbacks = [f for e, f in events if e == "checkpoint_fallback"]
+        assert fallbacks and "best.npz" in fallbacks[0]["fallback"]
 
 
 class TestKillAndResume:

@@ -1,0 +1,309 @@
+"""Tests for the pipeline-boundary data contracts (repro.contracts)."""
+
+import numpy as np
+import pytest
+
+from repro.contracts import (ContractPolicy, ContractViolation,
+                             check_finite, check_histograms, check_mask,
+                             check_shape_dtype, check_symmetric_adjacency,
+                             contract_policy, get_contract_policy,
+                             set_contract_policy, validate_sequence)
+from repro.histograms import HistogramSpec, ODTensorSequence
+
+
+def _sequence(t=4, n=3, k=5, seed=0):
+    rng = np.random.default_rng(seed)
+    tensors = rng.random((t, n, n, k))
+    tensors /= tensors.sum(axis=-1, keepdims=True)
+    mask = np.ones((t, n, n), dtype=bool)
+    counts = np.full((t, n, n), 9.0)
+    return ODTensorSequence(tensors, mask, counts,
+                            HistogramSpec(edges=tuple(range(k + 1))),
+                            interval_minutes=15.0)
+
+
+class Events:
+    def __init__(self):
+        self.records = []
+
+    def __call__(self, event, fields):
+        self.records.append((event, fields))
+
+    def of(self, event):
+        return [f for e, f in self.records if e == event]
+
+
+class TestPolicy:
+    def test_default_is_repair(self):
+        assert get_contract_policy().mode == "repair"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ContractPolicy(mode="lenient")
+
+    def test_set_accepts_bare_string_and_returns_previous(self):
+        previous = set_contract_policy("strict")
+        try:
+            assert get_contract_policy().strict
+        finally:
+            set_contract_policy(previous)
+        assert get_contract_policy().mode == previous.mode
+
+    def test_context_manager_scopes(self):
+        with contract_policy("off") as policy:
+            assert not policy.enabled
+            assert not get_contract_policy().enabled
+        assert get_contract_policy().enabled
+
+
+class TestCheckFinite:
+    def test_clean_passes(self):
+        check_finite(np.ones(4), "x", "b", ContractPolicy("repair"))
+
+    @pytest.mark.parametrize("mode", ["repair", "strict"])
+    def test_nan_always_hard_errors(self, mode):
+        with pytest.raises(ContractViolation) as err:
+            check_finite(np.array([1.0, np.nan]), "x", "b",
+                         ContractPolicy(mode))
+        assert err.value.kind == "non_finite"
+        assert err.value.boundary == "b"
+        assert "1 NaN" in str(err.value)
+
+    def test_off_skips(self):
+        check_finite(np.array([np.inf]), "x", "b", ContractPolicy("off"))
+
+
+class TestCheckShapeDtype:
+    def test_wildcards(self):
+        check_shape_dtype(np.zeros((2, 3, 4)), "x", "b",
+                          shape=(None, 3, -1),
+                          policy=ContractPolicy("strict"))
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ContractViolation) as err:
+            check_shape_dtype(np.zeros((2, 3)), "x", "b", shape=(2, 4),
+                              policy=ContractPolicy("repair"))
+        assert err.value.kind == "shape"
+
+    def test_dtype_mismatch_raises(self):
+        with pytest.raises(ContractViolation) as err:
+            check_shape_dtype(np.zeros(2, dtype=np.float32), "x", "b",
+                              dtype=np.float64,
+                              policy=ContractPolicy("repair"))
+        assert err.value.kind == "dtype"
+
+
+class TestCheckMask:
+    def test_numeric_01_mask_repaired_to_bool(self):
+        events = Events()
+        policy = ContractPolicy("repair", telemetry=events)
+        mask = np.array([[[0, 1], [1, 0]]], dtype=np.int64)
+        repaired = check_mask(mask, (1, 2, 2, 5), "b", policy)
+        assert repaired.dtype == np.bool_
+        assert events.of("contract_repair")
+
+    def test_numeric_mask_strict_rejected(self):
+        mask = np.zeros((1, 2, 2), dtype=np.int64)
+        with pytest.raises(ContractViolation):
+            check_mask(mask, (1, 2, 2, 5), "b", ContractPolicy("strict"))
+
+    def test_non_01_values_unrepairable(self):
+        mask = np.full((1, 2, 2), 7, dtype=np.int64)
+        with pytest.raises(ContractViolation):
+            check_mask(mask, (1, 2, 2, 5), "b", ContractPolicy("repair"))
+
+    def test_shape_mismatch_rejected(self):
+        mask = np.ones((2, 2, 2), dtype=bool)
+        with pytest.raises(ContractViolation):
+            check_mask(mask, (1, 2, 2, 5), "b", ContractPolicy("repair"))
+
+
+class TestCheckHistograms:
+    def test_drifted_renormalized_in_place(self):
+        events = Events()
+        policy = ContractPolicy("repair", telemetry=events)
+        sequence = _sequence()
+        sequence.tensors[0, 0, 0] *= 1.37
+        _, _, n_drifted, n_malformed = check_histograms(
+            sequence.tensors, sequence.mask, "b", policy)
+        assert (n_drifted, n_malformed) == (1, 0)
+        assert np.allclose(sequence.tensors.sum(axis=-1), 1.0)
+        assert events.of("contract_repair")[0]["n_cells"] == 1
+
+    def test_zero_sum_observed_cell_quarantined(self):
+        events = Events()
+        policy = ContractPolicy("repair", telemetry=events)
+        sequence = _sequence()
+        sequence.tensors[1, 2, 1] = 0.0
+        _, _, n_drifted, n_malformed = check_histograms(
+            sequence.tensors, sequence.mask, "b", policy)
+        assert (n_drifted, n_malformed) == (0, 1)
+        assert not sequence.mask[1, 2, 1]
+        assert events.of("contract_quarantine")[0]["n_cells"] == 1
+
+    def test_negative_bucket_quarantined(self):
+        sequence = _sequence()
+        sequence.tensors[0, 1, 1, 0] = -0.2
+        check_histograms(sequence.tensors, sequence.mask, "b",
+                         ContractPolicy("repair"))
+        assert not sequence.mask[0, 1, 1]
+        assert np.all(sequence.tensors[0, 1, 1] == 0.0)
+
+    def test_unobserved_cells_ignored(self):
+        sequence = _sequence()
+        sequence.mask[0, 0, 0] = False
+        sequence.tensors[0, 0, 0] = 0.0
+        _, _, n_drifted, n_malformed = check_histograms(
+            sequence.tensors, sequence.mask, "b",
+            ContractPolicy("repair"))
+        assert (n_drifted, n_malformed) == (0, 0)
+
+    def test_strict_raises_instead_of_repairing(self):
+        sequence = _sequence()
+        sequence.tensors[0, 0, 0] *= 2.0
+        with pytest.raises(ContractViolation) as err:
+            check_histograms(sequence.tensors, sequence.mask, "b",
+                             ContractPolicy("strict"))
+        assert err.value.kind == "histogram"
+
+
+class TestSymmetricAdjacency:
+    def test_asymmetry_repaired(self):
+        events = Events()
+        policy = ContractPolicy("repair", telemetry=events)
+        weights = np.array([[0.0, 1.0], [0.5, 0.0]])
+        repaired = check_symmetric_adjacency(weights, "w", "b", policy)
+        assert np.allclose(repaired, repaired.T)
+        assert np.allclose(repaired[0, 1], 0.75)
+        assert events.of("contract_repair")
+
+    def test_negative_weights_clipped(self):
+        weights = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        repaired = check_symmetric_adjacency(weights, "w", "b",
+                                             ContractPolicy("repair"))
+        assert (repaired >= 0).all()
+
+    def test_strict_rejects_asymmetry(self):
+        weights = np.array([[0.0, 1.0], [0.5, 0.0]])
+        with pytest.raises(ContractViolation):
+            check_symmetric_adjacency(weights, "w", "b",
+                                      ContractPolicy("strict"))
+
+    def test_nan_adjacency_hard_errors(self):
+        weights = np.array([[0.0, np.nan], [np.nan, 0.0]])
+        with pytest.raises(ContractViolation):
+            check_symmetric_adjacency(weights, "w", "b",
+                                      ContractPolicy("repair"))
+
+
+class TestBoundaryWiring:
+    """The contracts must actually fire at the pipeline boundaries."""
+
+    def test_sequence_construction_repairs_drift(self):
+        rng = np.random.default_rng(0)
+        tensors = rng.random((2, 3, 3, 5)) + 0.1   # unnormalized on purpose
+        with contract_policy("repair"):
+            sequence = ODTensorSequence(
+                tensors, np.ones((2, 3, 3), dtype=bool),
+                np.ones((2, 3, 3)),
+                HistogramSpec(edges=(0, 1, 2, 3, 4, 5)), 15.0)
+        assert np.allclose(sequence.tensors.sum(axis=-1), 1.0)
+
+    def test_sequence_construction_rejects_nan(self):
+        tensors = np.full((1, 2, 2, 3), np.nan)
+        with pytest.raises(ContractViolation):
+            ODTensorSequence(tensors, np.ones((1, 2, 2), dtype=bool),
+                             np.ones((1, 2, 2)),
+                             HistogramSpec(edges=(0, 1, 2, 3)), 15.0)
+
+    def test_slice_skips_revalidation(self):
+        sequence = _sequence()
+        with contract_policy("strict"):
+            sequence.tensors[0, 0, 0] *= 2.0     # damage after validation
+            sliced = sequence.slice(0, 2)        # must not re-validate
+        assert sliced.n_intervals == 2
+
+    def test_scaled_laplacian_repairs_asymmetry(self):
+        from repro.graph.laplacian import scaled_laplacian
+        weights = np.array([[0.0, 1.0, 0.0],
+                            [0.6, 0.0, 1.0],
+                            [0.0, 1.0, 0.0]])
+        with contract_policy("repair"):
+            scaled = scaled_laplacian(weights)   # must not raise
+        assert np.allclose(scaled, scaled.T)
+
+    def test_scaled_laplacian_strict_rejects(self):
+        from repro.graph.laplacian import scaled_laplacian
+        weights = np.array([[0.0, 1.0], [0.5, 0.0]])
+        with contract_policy("strict"), pytest.raises(ContractViolation):
+            scaled_laplacian(weights)
+
+    def test_bf_forward_rejects_nan_history(self):
+        from repro.core import BasicFramework
+        model = BasicFramework(3, 3, 4, np.random.default_rng(0), rank=2,
+                               encoder_dim=4, hidden_dim=4, dropout=0.0)
+        history = np.full((1, 2, 3, 3, 4), np.nan)
+        with pytest.raises(ContractViolation) as err:
+            model(history, horizon=1)
+        assert err.value.boundary == "BF.forward"
+
+    def test_bf_forward_rejects_wrong_buckets(self):
+        from repro.core import BasicFramework
+        model = BasicFramework(3, 3, 4, np.random.default_rng(0), rank=2,
+                               encoder_dim=4, hidden_dim=4, dropout=0.0)
+        history = np.zeros((1, 2, 3, 3, 9))
+        with pytest.raises(ContractViolation) as err:
+            model(history, horizon=1)
+        assert err.value.kind == "shape"
+
+    def test_trainer_rejects_nan_batch(self):
+        from repro.core import (BasicFramework, TrainConfig, Trainer,
+                                bf_loss)
+        from repro.histograms import WindowDataset, chronological_split
+        sequence = _sequence(t=12, n=3, k=4)
+        local_windows = WindowDataset(sequence, s=3, h=2)
+        local_split = chronological_split(local_windows)
+        model = BasicFramework(3, 3, 4, np.random.default_rng(0),
+                               rank=2, encoder_dim=4, hidden_dim=4,
+                               dropout=0.0)
+        trainer = Trainer(
+            model, lambda p, t, m, r, c: bf_loss(p, t, m, r, c, 0, 0),
+            TrainConfig(epochs=1, batch_size=4, max_train_batches=1))
+        sequence.tensors[:] = np.nan             # poison post-validation
+        with pytest.raises(ContractViolation) as err:
+            trainer.fit(local_windows, local_split, horizon=2)
+        assert err.value.boundary == "trainer.fit"
+
+    def test_load_sequence_validates(self, tmp_path):
+        from repro.persistence import load_sequence, save_sequence
+        sequence = _sequence()
+        path = tmp_path / "seq.npz"
+        save_sequence(sequence, path)
+        events = Events()
+        policy = ContractPolicy("repair", telemetry=events)
+        loaded = load_sequence(path, policy=policy)
+        assert np.allclose(loaded.tensors.sum(axis=-1), 1.0)
+
+    def test_forecast_latest_rejects_nan_prediction(self):
+        from repro.forecast import forecast_latest
+
+        class NaNForecaster:
+            def predict(self, windows, indices, horizon):
+                t = windows.sequence.tensors
+                return np.full((len(indices), horizon) + t.shape[1:],
+                               np.nan)
+
+        sequence = _sequence(t=6)
+        with pytest.raises(ContractViolation) as err:
+            forecast_latest(NaNForecaster(), sequence, s=3, horizon=1)
+        assert err.value.boundary == "forecast_latest"
+
+    def test_off_policy_disables_everything(self):
+        rng = np.random.default_rng(0)
+        tensors = rng.random((1, 2, 2, 3))       # unnormalized
+        with contract_policy("off"):
+            sequence = ODTensorSequence(
+                tensors.copy(), np.ones((1, 2, 2), dtype=bool),
+                np.ones((1, 2, 2)),
+                HistogramSpec(edges=(0, 1, 2, 3)), 15.0)
+        assert np.array_equal(sequence.tensors, tensors)   # untouched

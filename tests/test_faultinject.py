@@ -1,0 +1,174 @@
+"""Tests for the deterministic fault-injection harness
+(repro.faultinject) and the trainer's non-finite-gradient policies."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import faultinject
+from repro.core import (BasicFramework, NonFiniteGradError, TrainConfig,
+                        Trainer, bf_loss)
+from repro.histograms import (HistogramSpec, ODTensorSequence,
+                              WindowDataset, chronological_split)
+
+
+def _sequence(t=12, n=3, k=4, seed=0):
+    rng = np.random.default_rng(seed)
+    tensors = rng.random((t, n, n, k))
+    tensors /= tensors.sum(axis=-1, keepdims=True)
+    return ODTensorSequence(tensors, np.ones((t, n, n), dtype=bool),
+                            np.full((t, n, n), 5.0),
+                            HistogramSpec(edges=tuple(range(k + 1))),
+                            15.0)
+
+
+def _trainer(**overrides):
+    model = BasicFramework(3, 3, 4, np.random.default_rng(0), rank=2,
+                           encoder_dim=4, hidden_dim=4, dropout=0.0)
+    cfg = dict(epochs=1, batch_size=4, max_train_batches=2, seed=1)
+    cfg.update(overrides)
+    return Trainer(model,
+                   lambda p, t, m, r, c: bf_loss(p, t, m, r, c, 0, 0),
+                   TrainConfig(**cfg))
+
+
+class TestDataInjectors:
+    def test_drift_is_deterministic(self):
+        a, b = _sequence(), _sequence()
+        na = faultinject.drift_histograms(a.tensors, a.mask, seed=7)
+        nb = faultinject.drift_histograms(b.tensors, b.mask, seed=7)
+        assert na == nb > 0
+        assert np.array_equal(a.tensors, b.tensors)
+
+    def test_drift_breaks_normalization_only(self):
+        sequence = _sequence()
+        before = sequence.tensors.copy()
+        n = faultinject.drift_histograms(sequence.tensors, sequence.mask,
+                                         seed=3, fraction=0.25)
+        sums = sequence.tensors.sum(axis=-1)
+        assert (np.abs(sums - 1.0) > 1e-6).sum() == n
+        assert np.isfinite(sequence.tensors).all()
+        assert (sequence.tensors >= 0).all()
+        changed = ~np.isclose(sequence.tensors, before).all(axis=-1)
+        assert changed.sum() == n
+
+    def test_drop_keeps_mask_set(self):
+        sequence = _sequence()
+        n = faultinject.drop_cells(sequence.tensors, sequence.mask,
+                                   seed=5, fraction=0.1)
+        assert n > 0
+        zeroed = (sequence.tensors.sum(axis=-1) == 0) & sequence.mask
+        assert zeroed.sum() == n                 # observed-but-empty cells
+
+    def test_poison_nan_counts(self):
+        sequence = _sequence()
+        n = faultinject.poison_nan(sequence.tensors, seed=2, n_cells=3)
+        assert n == 3
+        assert np.isnan(sequence.tensors).sum() == 3
+
+    def test_empty_mask_is_a_noop(self):
+        sequence = _sequence()
+        sequence.mask[:] = False
+        n = faultinject.drift_histograms(sequence.tensors, sequence.mask,
+                                         seed=1)
+        assert n == 0
+
+
+class TestCorruptFile:
+    def test_truncate_shrinks(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(bytes(range(100)) * 10)
+        faultinject.corrupt_file(path, seed=0, mode="truncate",
+                                 keep_fraction=0.5)
+        assert path.stat().st_size == 500
+
+    def test_bitflip_changes_content_keeps_size(self, tmp_path):
+        path = tmp_path / "f.bin"
+        original = bytes(1000)
+        path.write_bytes(original)
+        faultinject.corrupt_file(path, seed=0, mode="bitflip", n_bits=4)
+        damaged = path.read_bytes()
+        assert len(damaged) == 1000
+        assert damaged != original
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"x")
+        with pytest.raises(ValueError):
+            faultinject.corrupt_file(path, seed=0, mode="shred")
+
+
+class TestNaNGradInjector:
+    def _data(self):
+        sequence = _sequence()
+        windows = WindowDataset(sequence, s=3, h=2)
+        return windows, chronological_split(windows)
+
+    def test_skip_policy_drops_update_and_warns(self):
+        windows, split = self._data()
+        trainer = _trainer(on_nonfinite_grad="skip")
+        injector = faultinject.NaNGradInjector(at=[(0, 0)], seed=0)
+        events = []
+        with pytest.warns(RuntimeWarning, match="non-finite gradient"):
+            trainer.fit(windows, split, horizon=2,
+                        telemetry=lambda e, f: events.append((e, f)),
+                        after_backward=injector)
+        assert injector.injected == [(0, 0)]
+        nonfinite = [f for e, f in events if e == "nonfinite_grad"]
+        assert nonfinite and nonfinite[0]["action"] == "skip"
+        state = trainer.model.state_dict()
+        assert all(np.isfinite(v).all() for v in state.values())
+
+    def test_halve_lr_policy(self):
+        windows, split = self._data()
+        trainer = _trainer(on_nonfinite_grad="halve_lr",
+                           learning_rate=1e-3)
+        injector = faultinject.NaNGradInjector(at=[(0, 0)], seed=0)
+        with pytest.warns(RuntimeWarning):
+            trainer.fit(windows, split, horizon=2,
+                        after_backward=injector)
+        # one halving, then StepDecay's epoch-0 step leaves it alone
+        assert trainer.optimizer.lr == pytest.approx(5e-4)
+
+    def test_abort_policy_raises_with_location(self):
+        windows, split = self._data()
+        trainer = _trainer(on_nonfinite_grad="abort")
+        injector = faultinject.NaNGradInjector(at=[(0, 1)], seed=0)
+        with pytest.raises(NonFiniteGradError) as err:
+            trainer.fit(windows, split, horizon=2,
+                        after_backward=injector)
+        assert (err.value.epoch, err.value.batch) == (0, 1)
+
+    def test_invalid_policy_rejected_at_config(self):
+        with pytest.raises(ValueError):
+            TrainConfig(on_nonfinite_grad="ignore")
+
+    def test_clean_run_without_hook_unchanged(self):
+        windows, split = self._data()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = _trainer().fit(windows, split, horizon=2)
+        assert all(np.isfinite(v) for v in result.train_losses)
+
+
+class TestKillOnce:
+    def test_first_call_dies_second_succeeds(self, tmp_path):
+        # Simulated in-process: the marker file is the only state, so
+        # verify the factory protocol without forking (the real forked
+        # path is exercised by benchmarks/chaos_smoke.py).
+        marker = tmp_path / "kill.marker"
+        calls = []
+        wrapped = faultinject.kill_once(lambda data: calls.append(data),
+                                        marker)
+        import multiprocessing
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("no fork start method")
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(target=wrapped, args=("data",))
+        proc.start()
+        proc.join(30)
+        assert proc.exitcode == 13
+        assert marker.exists()
+        wrapped("data2")                         # second attempt: normal
+        assert calls == ["data2"]
