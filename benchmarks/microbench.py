@@ -3,9 +3,14 @@
 Times forward+backward of every fused kernel in ``repro.autodiff.ops``
 against the retained primitive-op reference implementation, plus one
 full AF and BF training step (forward, loss, backward, Adam update) with
-the fused kernels globally on vs. off.  Results are written as JSON
-(default: ``BENCH_AUTODIFF.json`` at the repo root) so the perf
-trajectory of the autodiff substrate has recorded data.
+the fused kernels globally on vs. off.  Also compares the two execution
+engines (eager vs tape replay, see docs/EXECUTION.md) on the same train
+steps — wall time, allocation high-water mark, and live arena size — a
+3-epoch end-to-end smoke fit per engine, and a per-op-kind time profile
+(via :func:`repro.autodiff.profile`) of the AF step under each engine.
+Results are written as JSON (default: ``BENCH_AUTODIFF.json`` at the
+repo root) so the perf trajectory of the autodiff substrate has
+recorded data.
 
 Usage::
 
@@ -21,11 +26,13 @@ from __future__ import annotations
 import argparse
 import json
 import time
+import tracemalloc
 from pathlib import Path
 
 import numpy as np
 
-from repro.autodiff import Tensor, ops, set_default_dtype
+from repro.autodiff import ReplayEngine, Tensor, ops, profile, \
+    set_default_dtype
 from repro.autodiff.optim import Adam
 from repro.core import (AdvancedFramework, BasicFramework, af_loss, bf_loss)
 
@@ -168,47 +175,69 @@ def _train_step_batch(sizes, rng):
     return history, truth, mask
 
 
-def make_af_step(sizes, seed: int = 0):
-    """One AF training step (forward, Eq. 11 loss, backward, Adam)."""
+def _af_parts(sizes, seed: int = 0):
+    """(model, loss_fn, batch, horizon) for one AF training step."""
     rng = np.random.default_rng(seed)
     n = sizes["regions"]
     w = _random_proximity(n, rng)
     model = AdvancedFramework(w, w, sizes["buckets"],
                               np.random.default_rng(seed), rank=4,
                               rnn_hidden=8, rnn_order=2)
-    optimizer = Adam(model.parameters())
-    history, truth, mask = _train_step_batch(sizes, rng)
-    horizon = sizes["horizon"]
 
-    def step():
-        prediction, r, c = model(history, horizon)
-        loss = af_loss(prediction, truth, mask, r, c, w, w)
-        optimizer.zero_grad()
-        loss.backward()
-        optimizer.step()
+    def loss_fn(prediction, truth, mask, r, c):
+        return af_loss(prediction, truth, mask, r, c, w, w)
 
-    return step
+    return model, loss_fn, _train_step_batch(sizes, rng), sizes["horizon"]
 
 
-def make_bf_step(sizes, seed: int = 0):
-    """One BF training step (forward, Eq. 4 loss, backward, Adam)."""
+def _bf_parts(sizes, seed: int = 0):
+    """(model, loss_fn, batch, horizon) for one BF training step."""
     rng = np.random.default_rng(seed)
     n = sizes["regions"]
     model = BasicFramework(n, n, sizes["buckets"],
                            np.random.default_rng(seed), rank=4,
                            encoder_dim=16, hidden_dim=32)
+    return model, bf_loss, _train_step_batch(sizes, rng), sizes["horizon"]
+
+
+def _eager_step(parts):
+    """An eager train step closure (forward, loss, backward, Adam)."""
+    model, loss_fn, (history, truth, mask), horizon = parts
     optimizer = Adam(model.parameters())
-    history, truth, mask = _train_step_batch(sizes, rng)
-    horizon = sizes["horizon"]
 
     def step():
         prediction, r, c = model(history, horizon)
-        loss = bf_loss(prediction, truth, mask, r, c)
+        loss = loss_fn(prediction, truth, mask, r, c)
         optimizer.zero_grad()
         loss.backward()
         optimizer.step()
 
     return step
+
+
+def _replay_step(parts):
+    """A replay-engine train step closure; also returns the engine."""
+    model, loss_fn, (history, truth, mask), horizon = parts
+    optimizer = Adam(model.parameters(), flat=True)
+    engine = ReplayEngine(model, loss_fn)
+
+    def step():
+        loss = engine.forward(history, truth, mask, horizon)
+        optimizer.zero_grad()
+        engine.backward(loss)
+        optimizer.step()
+
+    return step, engine
+
+
+def make_af_step(sizes, seed: int = 0):
+    """One AF training step (forward, Eq. 11 loss, backward, Adam)."""
+    return _eager_step(_af_parts(sizes, seed))
+
+
+def make_bf_step(sizes, seed: int = 0):
+    """One BF training step (forward, Eq. 4 loss, backward, Adam)."""
+    return _eager_step(_bf_parts(sizes, seed))
 
 
 def bench_train_step(make_step, sizes) -> dict:
@@ -244,6 +273,126 @@ def bench_train_step(make_step, sizes) -> dict:
 
 
 # ----------------------------------------------------------------------
+# execution-engine benches: eager vs tape replay (docs/EXECUTION.md)
+# ----------------------------------------------------------------------
+def _alloc_peak_bytes(step, rounds: int = 3) -> int:
+    """Allocation high-water mark (bytes) of a step above steady state.
+
+    tracemalloc sees numpy array buffers (numpy registers them with the
+    tracemalloc C API), so this captures the per-step Tensor/grad churn
+    the replay arena is meant to bound.  One traced step runs first so
+    persistent state (the replay arena, optimizer slots) is already in
+    the baseline; the reported peak is relative to that baseline.  Run
+    separately from the wall-clock timing — tracing slows every
+    allocation down.
+    """
+    step()                                          # steady state first
+    tracemalloc.start()
+    try:
+        step()                  # persistent buffers enter the baseline
+        baseline, _ = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        for _ in range(rounds):
+            step()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return max(peak - baseline, 0)
+
+
+def bench_engine_step(make_parts, sizes) -> dict:
+    """Eager vs replay on the same training step, same seed.
+
+    Wall time is interleaved best-of-``repeats`` (like
+    :func:`bench_train_step`); the allocation high-water mark is
+    measured in a separate traced pass, and the replay side also
+    reports its live buffer arena (``ReplayEngine.arena_nbytes``).
+    """
+    repeats = sizes["repeats"]
+    step_eager = _eager_step(make_parts(sizes))
+    step_replay, engine = _replay_step(make_parts(sizes))
+    step_eager()                                    # warmup
+    step_replay()                                   # warmup = capture
+    step_replay()                                   # first true replay
+    eager_s = replay_s = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        step_eager()
+        eager_s = min(eager_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        step_replay()
+        replay_s = min(replay_s, time.perf_counter() - start)
+    eager_peak = _alloc_peak_bytes(_eager_step(make_parts(sizes)))
+    replay_fresh, engine_fresh = _replay_step(make_parts(sizes))
+    replay_fresh()                                  # capture outside trace
+    replay_peak = _alloc_peak_bytes(replay_fresh)
+    return {
+        "eager_ms": round(eager_s * 1e3, 2),
+        "replay_ms": round(replay_s * 1e3, 2),
+        "speedup": round(eager_s / replay_s, 2),
+        "eager_alloc_peak_bytes": int(eager_peak),
+        "replay_alloc_peak_bytes": int(replay_peak),
+        "replay_arena_bytes": int(engine_fresh.arena_nbytes()),
+        "engine_stats": engine.stats(),
+    }
+
+
+def bench_smoke_epochs(epochs: int = 3) -> dict:
+    """End-to-end ``Trainer.fit`` wall time per engine, 3-epoch smoke.
+
+    Same toy city and model seed for both engines, so besides timing it
+    re-checks that replay reproduces the eager loss curve exactly.
+    """
+    from repro.core import TrainConfig, Trainer
+    from repro.histograms import (WindowDataset, build_od_tensors,
+                                  chronological_split)
+    from repro.trips import toy_dataset
+
+    dataset = toy_dataset(n_days=3, n_regions=12, seed=42)
+    sequence = build_od_tensors(dataset.trips, dataset.city,
+                                n_intervals=dataset.field.n_intervals)
+    windows = WindowDataset(sequence, s=3, h=2)
+    split = chronological_split(windows)
+    report = {}
+    curves = {}
+    for engine in ("eager", "replay"):
+        model = BasicFramework(12, 12, 7, np.random.default_rng(7),
+                               rank=3, encoder_dim=8, hidden_dim=12,
+                               dropout=0.2)
+        config = TrainConfig(epochs=epochs, batch_size=8, patience=10,
+                             seed=3, engine=engine)
+        trainer = Trainer(model, bf_loss, config)
+        start = time.perf_counter()
+        result = trainer.fit(windows, split, horizon=2)
+        report[f"{engine}_s"] = round(time.perf_counter() - start, 3)
+        curves[engine] = result.train_losses
+    report["epochs"] = epochs
+    report["speedup"] = round(report["eager_s"] / report["replay_s"], 2)
+    report["curves_identical"] = curves["eager"] == curves["replay"]
+    return report
+
+
+def profile_engine_step(make_parts, sizes, top: int = 8) -> dict:
+    """Top per-op-kind costs of one step under each engine."""
+    report = {}
+    for engine_name in ("eager", "replay"):
+        if engine_name == "eager":
+            step = _eager_step(make_parts(sizes))
+        else:
+            step, _ = _replay_step(make_parts(sizes))
+        step()                                      # warmup / capture
+        with profile() as profiler:
+            step()
+        report[engine_name] = {
+            label: {key: (round(value, 6) if isinstance(value, float)
+                          else value)
+                    for key, value in entry.items()}
+            for label, entry in
+            list(profiler.as_dict().items())[:top]}
+    return report
+
+
+# ----------------------------------------------------------------------
 def run_microbench(scale: str = "full", dtype: str = "float32") -> dict:
     """Run every bench; returns the report dict (also used by tests)."""
     if scale not in SIZES:
@@ -259,6 +408,12 @@ def run_microbench(scale: str = "full", dtype: str = "float32") -> dict:
             "af": bench_train_step(make_af_step, sizes),
             "bf": bench_train_step(make_bf_step, sizes),
         }
+        engine_step = {
+            "af": bench_engine_step(_af_parts, sizes),
+            "bf": bench_engine_step(_bf_parts, sizes),
+        }
+        smoke_epochs = bench_smoke_epochs()
+        op_profile = profile_engine_step(_af_parts, sizes)
     finally:
         set_default_dtype(np.float64)
     return {
@@ -268,6 +423,9 @@ def run_microbench(scale: str = "full", dtype: str = "float32") -> dict:
         "timing": "best-of-%d wall clock, forward+backward" % sizes["repeats"],
         "kernels": kernels,
         "train_step": train_step,
+        "engine_step": engine_step,
+        "smoke_epochs": smoke_epochs,
+        "af_step_op_profile": op_profile,
     }
 
 
@@ -288,6 +446,16 @@ def main(argv=None) -> int:
             print(f"  {name:24s} fused {row['fused_ms']:9.3f} ms   "
                   f"reference {row['reference_ms']:9.3f} ms   "
                   f"{row['speedup']:.2f}x")
+    for name, row in report["engine_step"].items():
+        print(f"  {name + ' engine':24s} replay {row['replay_ms']:8.3f} ms  "
+              f"eager {row['eager_ms']:9.3f} ms   {row['speedup']:.2f}x  "
+              f"(alloc peak {row['replay_alloc_peak_bytes'] / 1e6:.1f} vs "
+              f"{row['eager_alloc_peak_bytes'] / 1e6:.1f} MB, arena "
+              f"{row['replay_arena_bytes'] / 1e6:.1f} MB)")
+    smoke = report["smoke_epochs"]
+    print(f"  {'3-epoch smoke fit':24s} replay {smoke['replay_s']:8.3f} s   "
+          f"eager {smoke['eager_s']:9.3f} s   {smoke['speedup']:.2f}x  "
+          f"(curves identical: {smoke['curves_identical']})")
     return 0
 
 

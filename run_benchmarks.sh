@@ -19,6 +19,11 @@ python3 benchmarks/resume_smoke.py || exit 1
 # <5% of a training epoch (see docs/ROBUSTNESS.md).
 python3 benchmarks/chaos_smoke.py || exit 1
 
+# Replay-engine gate: tape replay must stay bit-for-bit identical to
+# eager execution (BF and AF, dropout on) and the replayed AF train
+# step must hold its >= 1.2x speedup (see docs/EXECUTION.md).
+python3 benchmarks/replay_smoke.py || exit 1
+
 # Kernel microbenchmarks first: fused vs. reference autodiff ops and
 # one AF/BF training step.  Writes BENCH_AUTODIFF.json at the repo root.
 python3 benchmarks/microbench.py \

@@ -20,6 +20,8 @@ from .layers import (MLP, Activation, Dropout, Embedding, LayerNorm,
                      Linear, Sequential)
 from .module import Module, Parameter
 from .optim import SGD, Adam, Optimizer, StepDecay, clip_grad_norm
+from .profiler import OpProfiler, profile
+from .replay import CaptureMismatchWarning, ReplayEngine
 from .rnn import GRU, GRUCell, LSTMCell, Seq2Seq
 from .tensor import (AnomalyError, Tensor, anomaly_enabled, detect_anomaly,
                      get_default_dtype, ones, set_default_dtype, tensor,
@@ -36,5 +38,7 @@ __all__ = [
     "LayerNorm",
     "GRUCell", "GRU", "LSTMCell", "Seq2Seq",
     "Optimizer", "SGD", "Adam", "StepDecay", "clip_grad_norm",
+    "ReplayEngine", "CaptureMismatchWarning",
+    "profile", "OpProfiler",
     "check_gradients", "numerical_gradient",
 ]

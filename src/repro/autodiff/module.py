@@ -142,4 +142,9 @@ class Module:
                 raise ValueError(
                     f"shape mismatch for {name}: "
                     f"{value.shape} vs {parameter.shape}")
-            parameter.data = value.copy()
+            # Write through the existing array instead of rebinding:
+            # captured replay tapes and flat-optimizer views alias
+            # parameter.data, and an in-place copy keeps them live.
+            if value is parameter.data:
+                continue
+            np.copyto(parameter.data, value)

@@ -4,6 +4,16 @@ These complement the operator overloads on ``Tensor`` with the
 nonlinearities, normalizations, and structural operations the paper's
 models need (sigmoid/tanh gates, per-cell softmax recovery, concatenation
 of graph-convolution slices, dropout regularization, ...).
+
+Like the ``Tensor`` operators, every op here wraps its forward math in a
+local ``run()`` thunk and registers it with :func:`~repro.autodiff.tensor._record`
+so the capture/replay engine can re-execute a recorded step without
+rebuilding the graph (docs/EXECUTION.md).  Thunks rebind — via
+``nonlocal`` — every intermediate their backward closure reads, and
+re-read parameter arrays (``p.data``) on each run so weight updates and
+checkpoint restores are always picked up.  Data-dependent *validation*
+(zero divisors, non-positive log inputs) stays outside the thunks: it
+runs when the op is built (eager and capture), not on replay.
 """
 
 from __future__ import annotations
@@ -13,7 +23,8 @@ from typing import Sequence, Union
 
 import numpy as np
 
-from .tensor import Tensor, _ensure_tensor, _unbroadcast
+from .tensor import (Tensor, _ensure_tensor, _record, _run_forward,
+                     _unbroadcast)
 
 
 def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
@@ -34,13 +45,20 @@ def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
 def exp(x: Tensor) -> Tensor:
     """Elementwise exponential."""
     x = _ensure_tensor(x)
-    out_data = np.exp(x.data)
+    out_data = None
+
+    def run() -> np.ndarray:
+        nonlocal out_data
+        out_data = np.exp(x.data)
+        return out_data
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
             x._accumulate(grad * out_data)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(_run_forward(run), (x,), backward)
+    _record(out, run)
+    return out
 
 
 def log(x: Tensor) -> Tensor:
@@ -58,62 +76,93 @@ def log(x: Tensor) -> Tensor:
             f"(min {x.data.min():.6g}, shape {x.shape}); this would "
             f"silently propagate -inf/nan through the tape — clamp with "
             f"ops.clip_min(x, eps) or add a positive offset first")
-    out_data = np.log(x.data)
+
+    def run() -> np.ndarray:
+        return np.log(x.data)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
             x._accumulate(grad / x.data)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(_run_forward(run), (x,), backward)
+    _record(out, run)
+    return out
 
 
 def sqrt(x: Tensor) -> Tensor:
     """Elementwise square root."""
     x = _ensure_tensor(x)
-    out_data = np.sqrt(x.data)
+    out_data = None
+
+    def run() -> np.ndarray:
+        nonlocal out_data
+        out_data = np.sqrt(x.data)
+        return out_data
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
             x._accumulate(grad * 0.5 / out_data)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(_run_forward(run), (x,), backward)
+    _record(out, run)
+    return out
 
 
 def sigmoid(x: Tensor) -> Tensor:
     """Numerically stable logistic sigmoid."""
     x = _ensure_tensor(x)
-    out_data = _stable_sigmoid(x.data)
+    out_data = None
+
+    def run() -> np.ndarray:
+        nonlocal out_data
+        out_data = _stable_sigmoid(x.data)
+        return out_data
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
             x._accumulate(grad * out_data * (1.0 - out_data))
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(_run_forward(run), (x,), backward)
+    _record(out, run)
+    return out
 
 
 def tanh(x: Tensor) -> Tensor:
     """Elementwise hyperbolic tangent."""
     x = _ensure_tensor(x)
-    out_data = np.tanh(x.data)
+    out_data = None
+
+    def run() -> np.ndarray:
+        nonlocal out_data
+        out_data = np.tanh(x.data)
+        return out_data
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
             x._accumulate(grad * (1.0 - out_data ** 2))
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(_run_forward(run), (x,), backward)
+    _record(out, run)
+    return out
 
 
 def relu(x: Tensor) -> Tensor:
     """Elementwise rectified linear unit."""
     x = _ensure_tensor(x)
-    mask = x.data > 0
-    out_data = x.data * mask
+    mask = None
+
+    def run() -> np.ndarray:
+        nonlocal mask
+        mask = x.data > 0
+        return x.data * mask
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
             x._accumulate(grad * mask)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(_run_forward(run), (x,), backward)
+    _record(out, run)
+    return out
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -123,9 +172,14 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     scores are normalized into a probability histogram.
     """
     x = _ensure_tensor(x)
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    out_data = e / e.sum(axis=axis, keepdims=True)
+    out_data = None
+
+    def run() -> np.ndarray:
+        nonlocal out_data
+        shifted = x.data - x.data.max(axis=axis, keepdims=True)
+        e = np.exp(shifted)
+        out_data = e / e.sum(axis=axis, keepdims=True)
+        return out_data
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
@@ -133,15 +187,19 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
             dot = (grad * out_data).sum(axis=axis, keepdims=True)
             x._accumulate(out_data * (grad - dot))
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(_run_forward(run), (x,), backward)
+    _record(out, run)
+    return out
 
 
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` (gradient splits back)."""
     tensors = [_ensure_tensor(t) for t in tensors]
-    out_data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
+
+    def run() -> np.ndarray:
+        return np.concatenate([t.data for t in tensors], axis=axis)
 
     def backward(grad: np.ndarray) -> None:
         for tensor_i, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
@@ -150,13 +208,17 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 index[axis] = slice(start, stop)
                 tensor_i._accumulate(grad[tuple(index)])
 
-    return Tensor._make(out_data, tuple(tensors), backward)
+    out = Tensor._make(_run_forward(run), tuple(tensors), backward)
+    _record(out, run)
+    return out
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack same-shaped tensors along a new axis."""
     tensors = [_ensure_tensor(t) for t in tensors]
-    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def run() -> np.ndarray:
+        return np.stack([t.data for t in tensors], axis=axis)
 
     def backward(grad: np.ndarray) -> None:
         slabs = np.moveaxis(grad, axis, 0)
@@ -164,14 +226,20 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
             if tensor_i.requires_grad:
                 tensor_i._accumulate(slab)
 
-    return Tensor._make(out_data, tuple(tensors), backward)
+    out = Tensor._make(_run_forward(run), tuple(tensors), backward)
+    _record(out, run)
+    return out
 
 
 def maximum(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise maximum (ties route gradient to the first input)."""
     a, b = _ensure_tensor(a), _ensure_tensor(b)
-    out_data = np.maximum(a.data, b.data)
-    a_wins = a.data >= b.data
+    a_wins = None
+
+    def run() -> np.ndarray:
+        nonlocal a_wins
+        a_wins = a.data >= b.data
+        return np.maximum(a.data, b.data)
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
@@ -179,33 +247,47 @@ def maximum(a: Tensor, b: Tensor) -> Tensor:
         if b.requires_grad:
             b._accumulate(_unbroadcast(grad * (~a_wins), b.shape))
 
-    return Tensor._make(out_data, (a, b), backward)
+    out = Tensor._make(_run_forward(run), (a, b), backward)
+    _record(out, run)
+    return out
 
 
 def abs_(x: Tensor) -> Tensor:
     """Elementwise absolute value (sign subgradient at 0)."""
     x = _ensure_tensor(x)
-    out_data = np.abs(x.data)
-    sign = np.sign(x.data)
+    sign = None
+
+    def run() -> np.ndarray:
+        nonlocal sign
+        sign = np.sign(x.data)
+        return np.abs(x.data)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
             x._accumulate(grad * sign)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(_run_forward(run), (x,), backward)
+    _record(out, run)
+    return out
 
 
 def clip_min(x: Tensor, minimum: float) -> Tensor:
     """Lower-clip; gradient passes only where ``x > minimum``."""
     x = _ensure_tensor(x)
-    mask = x.data > minimum
-    out_data = np.where(mask, x.data, minimum)
+    mask = None
+
+    def run() -> np.ndarray:
+        nonlocal mask
+        mask = x.data > minimum
+        return np.where(mask, x.data, minimum)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
             x._accumulate(grad * mask)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(_run_forward(run), (x,), backward)
+    _record(out, run)
+    return out
 
 
 def dropout(x: Tensor, rate: float, rng: np.random.Generator,
@@ -213,7 +295,9 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator,
     """Inverted dropout: zero activations with probability ``rate``.
 
     At evaluation time (``training=False``) this is the identity, matching
-    the usual inference-time semantics.
+    the usual inference-time semantics.  The thunk draws from ``rng`` on
+    every execution, so a replayed step consumes the generator exactly
+    like the eager step it recorded — bit-for-bit RNG parity.
     """
     if not 0.0 <= rate < 1.0:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
@@ -221,21 +305,32 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator,
     if not training or rate == 0.0:
         return x
     keep = 1.0 - rate
-    mask = (rng.random(x.shape) < keep) / keep
-    out_data = x.data * mask
+    mask = None
+
+    def run() -> np.ndarray:
+        nonlocal mask
+        # Mask in the input dtype: a float64 mask would silently upcast
+        # activations and gradients under float32 training.
+        mask = (rng.random(x.shape) < keep).astype(x.data.dtype)
+        mask /= keep
+        return x.data * mask
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
             x._accumulate(grad * mask)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(_run_forward(run), (x,), backward)
+    _record(out, run)
+    return out
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """Select from ``a`` where ``condition`` else ``b`` (condition is data)."""
     a, b = _ensure_tensor(a), _ensure_tensor(b)
     condition = np.asarray(condition, dtype=bool)
-    out_data = np.where(condition, a.data, b.data)
+
+    def run() -> np.ndarray:
+        return np.where(condition, a.data, b.data)
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
@@ -243,7 +338,9 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
         if b.requires_grad:
             b._accumulate(_unbroadcast(grad * (~condition), b.shape))
 
-    return Tensor._make(out_data, (a, b), backward)
+    out = Tensor._make(_run_forward(run), (a, b), backward)
+    _record(out, run)
+    return out
 
 
 def pad_axis(x: Tensor, axis: int, before: int, after: int,
@@ -256,8 +353,10 @@ def pad_axis(x: Tensor, axis: int, before: int, after: int,
     x = _ensure_tensor(x)
     widths = [(0, 0)] * x.ndim
     widths[axis] = (before, after)
-    out_data = np.pad(x.data, widths, constant_values=value)
     n = x.shape[axis]
+
+    def run() -> np.ndarray:
+        return np.pad(x.data, widths, constant_values=value)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
@@ -265,7 +364,9 @@ def pad_axis(x: Tensor, axis: int, before: int, after: int,
             index[axis] = slice(before, before + n)
             x._accumulate(grad[tuple(index)])
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(_run_forward(run), (x,), backward)
+    _record(out, run)
+    return out
 
 
 def take_axis(x: Tensor, indices: np.ndarray, axis: int) -> Tensor:
@@ -275,11 +376,13 @@ def take_axis(x: Tensor, indices: np.ndarray, axis: int) -> Tensor:
     """
     x = _ensure_tensor(x)
     indices = np.asarray(indices, dtype=np.intp)
-    out_data = np.take(x.data, indices, axis=axis)
     # Distinct indices (e.g. the coarsening permutation) scatter to
     # disjoint slots, so the gradient is a plain fancy assignment;
     # only duplicated indices need the far slower accumulating add.at.
     unique = np.unique(indices).size == indices.size
+
+    def run() -> np.ndarray:
+        return np.take(x.data, indices, axis=axis)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
@@ -292,7 +395,9 @@ def take_axis(x: Tensor, indices: np.ndarray, axis: int) -> Tensor:
                 np.add.at(full, tuple(index), grad)
             x._accumulate(full)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(_run_forward(run), (x,), backward)
+    _record(out, run)
+    return out
 
 
 def mean_pool_axis(x: Tensor, axis: int, stride: int) -> Tensor:
@@ -312,13 +417,20 @@ def _pool_axis(x: Tensor, axis: int, stride: int, how: str) -> Tensor:
         raise ValueError(
             f"axis length {n} not divisible by pool stride {stride}; "
             "pad with fake nodes first")
-    moved = np.moveaxis(x.data, axis, 0)
-    grouped = moved.reshape(n // stride, stride, *moved.shape[1:])
-    if how == "mean":
-        pooled = grouped.mean(axis=1)
-    else:
-        pooled = grouped.max(axis=1)
-    out_data = np.moveaxis(pooled, 0, axis)
+    moved_shape = None
+    grouped = None
+    pooled = None
+
+    def run() -> np.ndarray:
+        nonlocal moved_shape, grouped, pooled
+        moved = np.moveaxis(x.data, axis, 0)
+        moved_shape = moved.shape
+        grouped = moved.reshape(n // stride, stride, *moved.shape[1:])
+        if how == "mean":
+            pooled = grouped.mean(axis=1)
+        else:
+            pooled = grouped.max(axis=1)
+        return np.moveaxis(pooled, 0, axis)
 
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
@@ -331,9 +443,11 @@ def _pool_axis(x: Tensor, axis: int, stride: int, how: str) -> Tensor:
             counts = winners.sum(axis=1, keepdims=True)
             expanded = (winners * (gmoved[:, None] / counts)).reshape(
                 n, *gmoved.shape[1:])
-        x._accumulate(np.moveaxis(expanded.reshape(moved.shape), 0, axis))
+        x._accumulate(np.moveaxis(expanded.reshape(moved_shape), 0, axis))
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(_run_forward(run), (x,), backward)
+    _record(out, run)
+    return out
 
 
 # ======================================================================
@@ -353,6 +467,11 @@ def _pool_axis(x: Tensor, axis: int, stride: int, how: str) -> Tensor:
 # microbenchmark (benchmarks/microbench.py); ``set_fused(False)`` or the
 # ``use_fused(False)`` context manager routes the public entry points
 # through them.
+#
+# Replay note: fused thunks re-read parameter arrays (and rebuild the
+# stacked/concatenated weight blocks the twin kernels use) on every run,
+# so optimizer updates and load_state_dict are always reflected.  Graph
+# Laplacians are structural constants — captured once, never rebuilt.
 
 _FUSED_ENABLED = True
 
@@ -417,16 +536,18 @@ def cheb_propagate(lap: Union[Tensor, np.ndarray], x: Tensor,
         raise ValueError(
             f"Laplacian shape {lap_data.shape} does not match signal with "
             f"{x.shape[0]} nodes")
-    terms = [x.data]
-    if order > 1:
-        terms.append(lap_data @ x.data)
-    for _ in range(2, order):
-        t = lap_data @ terms[-1]
-        t *= 2.0
-        t -= terms[-2]
-        terms.append(t)
-    out_data = np.stack(terms, axis=-1)
     lap_t = lap_data.T
+
+    def run() -> np.ndarray:
+        terms = [x.data]
+        if order > 1:
+            terms.append(lap_data @ x.data)
+        for _ in range(2, order):
+            t = lap_data @ terms[-1]
+            t *= 2.0
+            t -= terms[-2]
+            terms.append(t)
+        return np.stack(terms, axis=-1)
 
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
@@ -440,7 +561,9 @@ def cheb_propagate(lap: Union[Tensor, np.ndarray], x: Tensor,
             adj[0] += lap_t @ adj[1]
         x._accumulate(adj[0])
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(_run_forward(run), (x,), backward)
+    _record(out, run)
+    return out
 
 
 def cheb_propagate_reference(lap: Union[Tensor, np.ndarray], x: Tensor,
@@ -530,13 +653,24 @@ def _cheb_adjoint(lap_t: np.ndarray, dmixed: np.ndarray,
 
 
 def cheb_conv(lap: Union[Tensor, np.ndarray], x: Tensor, weight: Tensor,
-              bias: Tensor, order: int) -> Tensor:
+              bias: Tensor, order: int,
+              basis: np.ndarray = None) -> Tensor:
     """A whole Cheby-Net graph convolution (Eq. 5) as one node.
 
     Layout juggling, Chebyshev recursion, channel mixing, and bias — the
     ~8 primitive nodes of the unfused composition — collapse into a
     single node: ``x (B, N, C)`` → ``(B, N, Q)`` with
     ``weight (C·order, Q)`` and ``bias (Q,)``.
+
+    ``basis`` is an optional precomputed polynomial basis
+    ``(order·N, N)`` holding the stacked Chebyshev matrices
+    ``T_0(L) … T_{order-1}(L)`` (see
+    :meth:`repro.graph.ChebConv.polynomial_basis`).  When given, the
+    term recursion collapses into a single GEMM ``basis @ x`` forward
+    and ``basisᵀ @ dterms`` backward.  The polynomial values agree with
+    the recursion up to float round-off (the basis evaluates
+    ``T_s(L)·x`` as ``(T_s(L))·x`` instead of the nested recursion), so
+    a layer must use one path consistently within a run.
     """
     if order < 1:
         raise ValueError(f"Chebyshev order must be >= 1, got {order}")
@@ -557,10 +691,27 @@ def cheb_conv(lap: Union[Tensor, np.ndarray], x: Tensor, weight: Tensor,
             f"weight shape {weight.shape} does not match "
             f"{channels} channels x order {order}")
     q = weight.shape[-1]
-    terms = _cheb_terms(lap_data, x.data, order)        # S x (B, N, C)
-    feats = _cheb_feats(terms, order)                   # (B*N, C*S)
-    out_data = (feats @ weight.data).reshape(batch, n, q) + bias.data
     lap_t = lap_data.T
+    use_basis = basis is not None and order > 1
+    basis_t = basis.T if use_basis else None
+    feats = None
+
+    def run() -> np.ndarray:
+        nonlocal feats
+        if use_basis:
+            # (S·N, N) @ (B, N, C) -> (B, S·N, C); relayout into the
+            # interleaved (B·N, C·S) feature matrix _cheb_feats builds.
+            stacked = np.matmul(basis, x.data)
+            feats = np.ascontiguousarray(
+                stacked.reshape(batch, order, n, channels)
+                .transpose(0, 2, 3, 1)).reshape(batch * n,
+                                                channels * order)
+        else:
+            feats = _cheb_feats(_cheb_terms(lap_data, x.data, order),
+                                order)
+        out = (feats @ weight.data).reshape(batch, n, q)
+        out += bias.data
+        return out
 
     def backward(grad: np.ndarray) -> None:
         gm = grad.reshape(batch * n, q)
@@ -569,10 +720,20 @@ def cheb_conv(lap: Union[Tensor, np.ndarray], x: Tensor, weight: Tensor,
         if bias.requires_grad:
             bias._accumulate(gm.sum(axis=0))
         if x.requires_grad:
-            x._accumulate(_cheb_adjoint(
-                lap_t, gm, weight.data, (batch, n, channels), order))
+            if use_basis:
+                dfull = (gm @ weight.data.T).reshape(batch, n, channels,
+                                                     order)
+                dstacked = np.ascontiguousarray(
+                    dfull.transpose(0, 3, 1, 2)).reshape(
+                        batch, order * n, channels)
+                x._accumulate(np.matmul(basis_t, dstacked))
+            else:
+                x._accumulate(_cheb_adjoint(
+                    lap_t, gm, weight.data, (batch, n, channels), order))
 
-    return Tensor._make(out_data, (x, weight, bias), backward)
+    out = Tensor._make(_run_forward(run), (x, weight, bias), backward)
+    _record(out, run)
+    return out
 
 
 def cheb_conv_reference(lap: Union[Tensor, np.ndarray], x: Tensor,
@@ -617,33 +778,45 @@ def fused_gcnn_stage(lap: Union[Tensor, np.ndarray], x: Tensor,
     lap_data = _constant_array(lap)
     batch, n, channels = x.shape
     q = weight.shape[-1]
-    terms = _cheb_terms(lap_data, x.data, order)
-    feats = _cheb_feats(terms, order)                   # (B*N, C*S)
-    act = (feats @ weight.data).reshape(batch, n, q)
-    act += bias.data
-    np.maximum(act, 0.0, out=act)
+    dtype = x.data.dtype
     if perm is not None:
         real = perm < n
-        pooled_src = np.zeros((batch, perm.size, q), dtype=act.dtype)
-        pooled_src[:, real] = act[:, perm[real]]
+        perm_real = perm[real]
         # Undo the pad-and-permute: original node j sits at the padded
         # position holding value perm[...] == j; dividing by the pool
         # stride maps it straight to its cluster.
         inverse = np.empty(n, dtype=np.intp)
-        inverse[perm[real]] = np.nonzero(real)[0]
+        inverse[perm_real] = np.nonzero(real)[0]
         cluster_of_node = inverse // stride
     else:
-        pooled_src = act
+        real = perm_real = None
         cluster_of_node = np.arange(n, dtype=np.intp) // stride
-    if stride > 1:
-        m = pooled_src.shape[1]
-        scale = inv_counts.astype(act.dtype, copy=False)[:, None]
-        out_data = pooled_src.reshape(batch, m // stride, stride,
-                                      q).sum(axis=2)
-        out_data *= scale
-    else:
-        out_data = pooled_src
+    scale = inv_counts.astype(dtype, copy=False)[:, None] \
+        if stride > 1 else None
     lap_t = lap_data.T
+    feats = None
+    act = None
+
+    def run() -> np.ndarray:
+        nonlocal feats, act
+        terms = _cheb_terms(lap_data, x.data, order)
+        feats = _cheb_feats(terms, order)               # (B*N, C*S)
+        act = (feats @ weight.data).reshape(batch, n, q)
+        act += bias.data
+        np.maximum(act, 0.0, out=act)
+        if perm is not None:
+            pooled_src = np.zeros((batch, perm.size, q), dtype=act.dtype)
+            pooled_src[:, real] = act[:, perm_real]
+        else:
+            pooled_src = act
+        if stride > 1:
+            m = pooled_src.shape[1]
+            out_data = pooled_src.reshape(batch, m // stride, stride,
+                                          q).sum(axis=2)
+            out_data *= scale
+        else:
+            out_data = pooled_src
+        return out_data
 
     def backward(grad: np.ndarray) -> None:
         # Each original node's grad is its cluster's (scaled) grad: one
@@ -666,7 +839,9 @@ def fused_gcnn_stage(lap: Union[Tensor, np.ndarray], x: Tensor,
             x._accumulate(_cheb_adjoint(
                 lap_t, gm, weight.data, (batch, n, channels), order))
 
-    return Tensor._make(out_data, (x, weight, bias), backward)
+    out = Tensor._make(_run_forward(run), (x, weight, bias), backward)
+    _record(out, run)
+    return out
 
 
 def fused_gcnn_stage_reference(lap: Union[Tensor, np.ndarray], x: Tensor,
@@ -698,12 +873,16 @@ def fused_latent_head(x: Tensor, w_buckets: Tensor, b_buckets: Tensor,
         return fused_latent_head_reference(x, w_buckets, b_buckets,
                                            w_latent, b_latent)
     x = _ensure_tensor(x)
-    t = x.data @ w_buckets.data + b_buckets.data        # (B, P, K)
-    tt = t.transpose(0, 2, 1)                           # (B, K, P)
-    z = tt @ w_latent.data + b_latent.data              # (B, K, R)
-    out_data = np.ascontiguousarray(z.transpose(0, 2, 1))
-    k = t.shape[-1]
+    k = w_buckets.shape[-1]
     rank = w_latent.shape[-1]
+    tt = None
+
+    def run() -> np.ndarray:
+        nonlocal tt
+        t = x.data @ w_buckets.data + b_buckets.data    # (B, P, K)
+        tt = t.transpose(0, 2, 1)                       # (B, K, P)
+        z = tt @ w_latent.data + b_latent.data          # (B, K, R)
+        return np.ascontiguousarray(z.transpose(0, 2, 1))
 
     def backward(grad: np.ndarray) -> None:
         gz = grad.transpose(0, 2, 1)                    # (B, K, R)
@@ -725,9 +904,11 @@ def fused_latent_head(x: Tensor, w_buckets: Tensor, b_buckets: Tensor,
         if x.requires_grad:
             x._accumulate(np.matmul(dt, w_buckets.data.T))
 
-    return Tensor._make(out_data,
-                        (x, w_buckets, b_buckets, w_latent, b_latent),
-                        backward)
+    out = Tensor._make(_run_forward(run),
+                       (x, w_buckets, b_buckets, w_latent, b_latent),
+                       backward)
+    _record(out, run)
+    return out
 
 
 def fused_latent_head_reference(x: Tensor, w_buckets: Tensor,
@@ -761,14 +942,19 @@ def fused_gru_gates(x: Tensor, h: Tensor,
                                          b_update, w_cand, b_cand)
     x, h = _ensure_tensor(x), _ensure_tensor(h)
     params = (w_reset, b_reset, w_update, b_update, w_cand, b_cand)
-    wr, br, wu, bu, wc, bc = (p.data for p in params)
     hidden = h.shape[-1]
-    hx = np.concatenate([h.data, x.data], axis=-1)
-    r = _stable_sigmoid(hx @ wr + br)
-    u = _stable_sigmoid(hx @ wu + bu)
-    rhx = np.concatenate([r * h.data, x.data], axis=-1)
-    c = np.tanh(rhx @ wc + bc)
-    out_data = u * h.data + (1.0 - u) * c
+    wr = wu = wc = None
+    hx = r = u = rhx = c = None
+
+    def run() -> np.ndarray:
+        nonlocal wr, wu, wc, hx, r, u, rhx, c
+        wr, br, wu, bu, wc, bc = (p.data for p in params)
+        hx = np.concatenate([h.data, x.data], axis=-1)
+        r = _stable_sigmoid(hx @ wr + br)
+        u = _stable_sigmoid(hx @ wu + bu)
+        rhx = np.concatenate([r * h.data, x.data], axis=-1)
+        c = np.tanh(rhx @ wc + bc)
+        return u * h.data + (1.0 - u) * c
 
     def backward(grad: np.ndarray) -> None:
         joint = hx.shape[-1]
@@ -806,7 +992,9 @@ def fused_gru_gates(x: Tensor, h: Tensor,
             if b_cand.requires_grad:
                 b_cand._accumulate(dpre_c.sum(axis=lead))
 
-    return Tensor._make(out_data, (x, h) + params, backward)
+    out = Tensor._make(_run_forward(run), (x, h) + params, backward)
+    _record(out, run)
+    return out
 
 
 def fused_gru_gates_reference(x: Tensor, h: Tensor,
@@ -849,20 +1037,24 @@ def fused_cnrnn_cell(lap: Union[Tensor, np.ndarray], x: Tensor, h: Tensor,
     batch, n, cx = x.shape
     hidden = h.shape[-1]
     joint = hidden + cx
-    hx = np.concatenate([h.data, x.data], axis=-1)
-    f_hx = _cheb_feats(_cheb_terms(lap_data, hx, order), order)
-    w_ru = np.concatenate([w_reset.data, w_update.data], axis=1)
-    b_ru = np.concatenate([b_reset.data, b_update.data])
-    pre_ru = f_hx @ w_ru                                # (B*N, 2H)
-    ru = _stable_sigmoid(pre_ru.reshape(batch, n, 2 * hidden) + b_ru)
-    r, u = ru[..., :hidden], ru[..., hidden:]
-    rhx = np.concatenate([r * h.data, x.data], axis=-1)
-    f_rhx = _cheb_feats(_cheb_terms(lap_data, rhx, order), order)
-    c = np.tanh((f_rhx @ w_cand.data)
-                .reshape(batch, n, hidden) + b_cand.data)
-    hmc = h.data - c
-    out_data = c + u * hmc                              # Eq. 10 blend
     lap_t = lap_data.T
+    hx = f_hx = w_ru = ru = r = u = rhx = f_rhx = c = hmc = None
+
+    def run() -> np.ndarray:
+        nonlocal hx, f_hx, w_ru, ru, r, u, rhx, f_rhx, c, hmc
+        hx = np.concatenate([h.data, x.data], axis=-1)
+        f_hx = _cheb_feats(_cheb_terms(lap_data, hx, order), order)
+        w_ru = np.concatenate([w_reset.data, w_update.data], axis=1)
+        b_ru = np.concatenate([b_reset.data, b_update.data])
+        pre_ru = f_hx @ w_ru                            # (B*N, 2H)
+        ru = _stable_sigmoid(pre_ru.reshape(batch, n, 2 * hidden) + b_ru)
+        r, u = ru[..., :hidden], ru[..., hidden:]
+        rhx = np.concatenate([r * h.data, x.data], axis=-1)
+        f_rhx = _cheb_feats(_cheb_terms(lap_data, rhx, order), order)
+        c = np.tanh((f_rhx @ w_cand.data)
+                    .reshape(batch, n, hidden) + b_cand.data)
+        hmc = h.data - c
+        return c + u * hmc                              # Eq. 10 blend
 
     def backward(grad: np.ndarray) -> None:
         # Eq. 10 blend and the two nonlinearities (σ' for both gates in
@@ -905,7 +1097,9 @@ def fused_cnrnn_cell(lap: Union[Tensor, np.ndarray], x: Tensor, h: Tensor,
         if x.requires_grad:
             x._accumulate(drhx[..., hidden:] + dhx[..., hidden:])
 
-    return Tensor._make(out_data, (x, h) + params, backward)
+    out = Tensor._make(_run_forward(run), (x, h) + params, backward)
+    _record(out, run)
+    return out
 
 
 def fused_cnrnn_cell_reference(lap: Union[Tensor, np.ndarray], x: Tensor,
@@ -944,12 +1138,16 @@ def fused_twin_cheb_conv(lap2: np.ndarray, x: Tensor,
     two, batch, n, channels = x.shape
     lap_b = _constant_array(lap2)[:, None]              # (2, 1, N, N)
     q = w_a.shape[-1]
-    feats = _cheb_feats(_cheb_terms(lap_b, x.data, order), order)
-    w2 = np.stack([w_a.data, w_b.data])                 # (2, C·S, Q)
-    b2 = np.stack([b_a.data, b_b.data])                 # (2, Q)
-    out_data = np.matmul(feats, w2).reshape(two, batch, n, q) \
-        + b2[:, None, None]
     lap_t = np.swapaxes(lap_b, -1, -2)
+    feats = w2 = None
+
+    def run() -> np.ndarray:
+        nonlocal feats, w2
+        feats = _cheb_feats(_cheb_terms(lap_b, x.data, order), order)
+        w2 = np.stack([w_a.data, w_b.data])             # (2, C·S, Q)
+        b2 = np.stack([b_a.data, b_b.data])             # (2, Q)
+        return np.matmul(feats, w2).reshape(two, batch, n, q) \
+            + b2[:, None, None]
 
     def backward(grad: np.ndarray) -> None:
         gm = grad.reshape(two, batch * n, q)
@@ -969,7 +1167,10 @@ def fused_twin_cheb_conv(lap2: np.ndarray, x: Tensor,
             x._accumulate(_cheb_adjoint(
                 lap_t, gm, w2, (two, batch, n, channels), order))
 
-    return Tensor._make(out_data, (x, w_a, b_a, w_b, b_b), backward)
+    out = Tensor._make(_run_forward(run), (x, w_a, b_a, w_b, b_b),
+                       backward)
+    _record(out, run)
+    return out
 
 
 def fused_twin_cnrnn_cell(lap2: np.ndarray, x: Tensor, h: Tensor,
@@ -996,27 +1197,33 @@ def fused_twin_cnrnn_cell(lap2: np.ndarray, x: Tensor, h: Tensor,
     two, batch, n, cx = x.shape
     hidden = h.shape[-1]
     joint = hidden + cx
-    hx = np.concatenate([h.data, x.data], axis=-1)      # (2, B, N, J)
-    f_hx = _cheb_feats(_cheb_terms(lap_b, hx, order), order)
-    w_ru = np.stack([
-        np.concatenate([w_reset_a.data, w_update_a.data], axis=1),
-        np.concatenate([w_reset_b.data, w_update_b.data], axis=1)])
-    b_ru = np.stack([
-        np.concatenate([b_reset_a.data, b_update_a.data]),
-        np.concatenate([b_reset_b.data, b_update_b.data])])
-    pre_ru = np.matmul(f_hx, w_ru)                      # (2, B·N, 2H)
-    ru = _stable_sigmoid(pre_ru.reshape(two, batch, n, 2 * hidden)
-                         + b_ru[:, None, None])
-    r, u = ru[..., :hidden], ru[..., hidden:]
-    rhx = np.concatenate([r * h.data, x.data], axis=-1)
-    f_rhx = _cheb_feats(_cheb_terms(lap_b, rhx, order), order)
-    w_cand = np.stack([w_cand_a.data, w_cand_b.data])
-    b_cand = np.stack([b_cand_a.data, b_cand_b.data])
-    c = np.tanh(np.matmul(f_rhx, w_cand)
-                .reshape(two, batch, n, hidden) + b_cand[:, None, None])
-    hmc = h.data - c
-    out_data = c + u * hmc                              # Eq. 10 blend
     lap_t = np.swapaxes(lap_b, -1, -2)
+    hx = f_hx = w_ru = ru = r = u = rhx = f_rhx = None
+    w_cand = c = hmc = None
+
+    def run() -> np.ndarray:
+        nonlocal hx, f_hx, w_ru, ru, r, u, rhx, f_rhx, w_cand, c, hmc
+        hx = np.concatenate([h.data, x.data], axis=-1)  # (2, B, N, J)
+        f_hx = _cheb_feats(_cheb_terms(lap_b, hx, order), order)
+        w_ru = np.stack([
+            np.concatenate([w_reset_a.data, w_update_a.data], axis=1),
+            np.concatenate([w_reset_b.data, w_update_b.data], axis=1)])
+        b_ru = np.stack([
+            np.concatenate([b_reset_a.data, b_update_a.data]),
+            np.concatenate([b_reset_b.data, b_update_b.data])])
+        pre_ru = np.matmul(f_hx, w_ru)                  # (2, B·N, 2H)
+        ru = _stable_sigmoid(pre_ru.reshape(two, batch, n, 2 * hidden)
+                             + b_ru[:, None, None])
+        r, u = ru[..., :hidden], ru[..., hidden:]
+        rhx = np.concatenate([r * h.data, x.data], axis=-1)
+        f_rhx = _cheb_feats(_cheb_terms(lap_b, rhx, order), order)
+        w_cand = np.stack([w_cand_a.data, w_cand_b.data])
+        b_cand = np.stack([b_cand_a.data, b_cand_b.data])
+        c = np.tanh(np.matmul(f_rhx, w_cand)
+                    .reshape(two, batch, n, hidden)
+                    + b_cand[:, None, None])
+        hmc = h.data - c
+        return c + u * hmc                              # Eq. 10 blend
 
     def backward(grad: np.ndarray) -> None:
         # Same adjoint as fused_cnrnn_cell, with one leading pair axis;
@@ -1072,9 +1279,11 @@ def fused_twin_cnrnn_cell(lap2: np.ndarray, x: Tensor, h: Tensor,
         if x.requires_grad:
             x._accumulate(drhx[..., hidden:] + dhx[..., hidden:])
 
-    return Tensor._make(out_data,
-                        (x, h) + tuple(params_a) + tuple(params_b),
-                        backward)
+    out = Tensor._make(_run_forward(run),
+                       (x, h) + tuple(params_a) + tuple(params_b),
+                       backward)
+    _record(out, run)
+    return out
 
 
 def fused_twin_gcnn_stage(lap2: np.ndarray, x: Tensor,
@@ -1094,31 +1303,43 @@ def fused_twin_gcnn_stage(lap2: np.ndarray, x: Tensor,
     lap_b = _constant_array(lap2)[:, None]              # (2, 1, N, N)
     two, batch, n, channels = x.shape
     q = w_a.shape[-1]
-    feats = _cheb_feats(_cheb_terms(lap_b, x.data, order), order)
-    w2 = np.stack([w_a.data, w_b.data])                 # (2, C·S, Q)
-    b2 = np.stack([b_a.data, b_b.data])
-    act = np.matmul(feats, w2).reshape(two, batch, n, q)
-    act += b2[:, None, None]
-    np.maximum(act, 0.0, out=act)
+    dtype = x.data.dtype
     if perm is not None:
         real = perm < n
-        pooled_src = np.zeros((two, batch, perm.size, q), dtype=act.dtype)
-        pooled_src[:, :, real] = act[:, :, perm[real]]
+        perm_real = perm[real]
         inverse = np.empty(n, dtype=np.intp)
-        inverse[perm[real]] = np.nonzero(real)[0]
+        inverse[perm_real] = np.nonzero(real)[0]
         cluster_of_node = inverse // stride
     else:
-        pooled_src = act
+        real = perm_real = None
         cluster_of_node = np.arange(n, dtype=np.intp) // stride
-    if stride > 1:
-        m = pooled_src.shape[2]
-        scale = inv_counts.astype(act.dtype, copy=False)[:, None]
-        out_data = pooled_src.reshape(two, batch, m // stride, stride,
-                                      q).sum(axis=3)
-        out_data *= scale
-    else:
-        out_data = pooled_src
+    scale = inv_counts.astype(dtype, copy=False)[:, None] \
+        if stride > 1 else None
     lap_t = np.swapaxes(lap_b, -1, -2)
+    feats = w2 = act = None
+
+    def run() -> np.ndarray:
+        nonlocal feats, w2, act
+        feats = _cheb_feats(_cheb_terms(lap_b, x.data, order), order)
+        w2 = np.stack([w_a.data, w_b.data])             # (2, C·S, Q)
+        b2 = np.stack([b_a.data, b_b.data])
+        act = np.matmul(feats, w2).reshape(two, batch, n, q)
+        act += b2[:, None, None]
+        np.maximum(act, 0.0, out=act)
+        if perm is not None:
+            pooled_src = np.zeros((two, batch, perm.size, q),
+                                  dtype=act.dtype)
+            pooled_src[:, :, real] = act[:, :, perm_real]
+        else:
+            pooled_src = act
+        if stride > 1:
+            m = pooled_src.shape[2]
+            out_data = pooled_src.reshape(two, batch, m // stride, stride,
+                                          q).sum(axis=3)
+            out_data *= scale
+        else:
+            out_data = pooled_src
+        return out_data
 
     def backward(grad: np.ndarray) -> None:
         if stride > 1:
@@ -1147,7 +1368,10 @@ def fused_twin_gcnn_stage(lap2: np.ndarray, x: Tensor,
             x._accumulate(_cheb_adjoint(
                 lap_t, gm, w2, (two, batch, n, channels), order))
 
-    return Tensor._make(out_data, (x, w_a, b_a, w_b, b_b), backward)
+    out = Tensor._make(_run_forward(run), (x, w_a, b_a, w_b, b_b),
+                       backward)
+    _record(out, run)
+    return out
 
 
 def fused_twin_latent_head(x: Tensor,
@@ -1162,16 +1386,20 @@ def fused_twin_latent_head(x: Tensor,
     x = _ensure_tensor(x)
     wb_a, bb_a, wl_a, bl_a = head_a
     wb_b, bb_b, wl_b, bl_b = head_b
-    w_buckets = np.stack([wb_a.data, wb_b.data])[:, None]   # (2, 1, C, K)
-    b_buckets = np.stack([bb_a.data, bb_b.data])
-    w_latent = np.stack([wl_a.data, wl_b.data])[:, None]    # (2, 1, P, R)
-    b_latent = np.stack([bl_a.data, bl_b.data])
-    t = np.matmul(x.data, w_buckets) + b_buckets[:, None, None]
-    tt = np.swapaxes(t, -1, -2)                             # (2, B, K, P)
-    z = np.matmul(tt, w_latent) + b_latent[:, None, None]
-    out_data = np.ascontiguousarray(np.swapaxes(z, -1, -2))
-    k = t.shape[-1]
-    rank = z.shape[-1]
+    k = wb_a.shape[-1]
+    rank = wl_a.shape[-1]
+    w_buckets = w_latent = tt = None
+
+    def run() -> np.ndarray:
+        nonlocal w_buckets, w_latent, tt
+        w_buckets = np.stack([wb_a.data, wb_b.data])[:, None]  # (2,1,C,K)
+        b_buckets = np.stack([bb_a.data, bb_b.data])
+        w_latent = np.stack([wl_a.data, wl_b.data])[:, None]   # (2,1,P,R)
+        b_latent = np.stack([bl_a.data, bl_b.data])
+        t = np.matmul(x.data, w_buckets) + b_buckets[:, None, None]
+        tt = np.swapaxes(t, -1, -2)                            # (2,B,K,P)
+        z = np.matmul(tt, w_latent) + b_latent[:, None, None]
+        return np.ascontiguousarray(np.swapaxes(z, -1, -2))
 
     def backward(grad: np.ndarray) -> None:
         gz = np.swapaxes(grad, -1, -2)                      # (2, B, K, R)
@@ -1209,8 +1437,10 @@ def fused_twin_latent_head(x: Tensor,
         if x.requires_grad:
             x._accumulate(np.matmul(dt, np.swapaxes(w_buckets, -1, -2)))
 
-    return Tensor._make(out_data,
-                        (x,) + tuple(head_a) + tuple(head_b), backward)
+    out = Tensor._make(_run_forward(run),
+                       (x,) + tuple(head_a) + tuple(head_b), backward)
+    _record(out, run)
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -1230,16 +1460,21 @@ def fused_softmax_recovery(r_factors: Tensor, c_factors: Tensor) -> Tensor:
     r, c = _ensure_tensor(r_factors), _ensure_tensor(c_factors)
     if r.ndim < 3 or c.ndim < 3:
         raise ValueError("factor tensors must have >= 3 dims")
-    # Buckets become the batch axis of one batched GEMM:
-    # (..., K, N, β) @ (..., K, β, N') -> (..., K, N, N').
-    rb = np.moveaxis(r.data, -1, -3)
-    cb = np.moveaxis(c.data, -1, -3)
-    raw = rb @ cb
-    scores = np.moveaxis(raw, -3, -1)
-    scores -= scores.max(axis=-1, keepdims=True)
-    np.exp(scores, out=scores)
-    scores /= scores.sum(axis=-1, keepdims=True)
-    out_data = np.ascontiguousarray(scores)
+    rb = cb = out_data = None
+
+    def run() -> np.ndarray:
+        nonlocal rb, cb, out_data
+        # Buckets become the batch axis of one batched GEMM:
+        # (..., K, N, β) @ (..., K, β, N') -> (..., K, N, N').
+        rb = np.moveaxis(r.data, -1, -3)
+        cb = np.moveaxis(c.data, -1, -3)
+        raw = rb @ cb
+        scores = np.moveaxis(raw, -3, -1)
+        scores -= scores.max(axis=-1, keepdims=True)
+        np.exp(scores, out=scores)
+        scores /= scores.sum(axis=-1, keepdims=True)
+        out_data = np.ascontiguousarray(scores)
+        return out_data
 
     def backward(grad: np.ndarray) -> None:
         dot = (grad * out_data).sum(axis=-1, keepdims=True)
@@ -1254,7 +1489,9 @@ def fused_softmax_recovery(r_factors: Tensor, c_factors: Tensor) -> Tensor:
             c._accumulate(
                 _unbroadcast(np.moveaxis(dc, -3, -1), c.shape))
 
-    return Tensor._make(out_data, (r, c), backward)
+    out = Tensor._make(_run_forward(run), (r, c), backward)
+    _record(out, run)
+    return out
 
 
 def fused_softmax_recovery_reference(r_factors: Tensor,
@@ -1285,16 +1522,27 @@ def fused_masked_frobenius(prediction: Tensor, truth: np.ndarray,
     indication tensor ``(..., N, N')``, broadcast over buckets.  The
     normalizer is the observed-cell count (≥ 1), keeping the loss scale
     independent of sparsity.
+
+    Replay note: when ``truth``/``mask`` already have the prediction's
+    dtype the arrays are captured by reference (no copy), so the replay
+    engine can refresh a recorded step by writing new batches into the
+    same buffers.
     """
     if not fused_enabled():
         return fused_masked_frobenius_reference(prediction, truth, mask)
     prediction = _ensure_tensor(prediction)
     dtype = prediction.data.dtype
-    mask = np.asarray(mask, dtype=dtype)
-    weights = mask[..., None]
-    diff = (prediction.data - np.asarray(truth, dtype=dtype)) * weights
-    observed = max(float(mask.sum()), 1.0)
-    out_data = np.asarray((diff * diff).sum() / observed, dtype=dtype)
+    mask_arr = np.asarray(mask, dtype=dtype)
+    truth_arr = np.asarray(truth, dtype=dtype)
+    weights = mask_arr[..., None]
+    diff = None
+    observed = None
+
+    def run() -> np.ndarray:
+        nonlocal diff, observed
+        diff = (prediction.data - truth_arr) * weights
+        observed = max(float(mask_arr.sum()), 1.0)
+        return np.asarray((diff * diff).sum() / observed, dtype=dtype)
 
     def backward(grad: np.ndarray) -> None:
         if prediction.requires_grad:
@@ -1305,7 +1553,9 @@ def fused_masked_frobenius(prediction: Tensor, truth: np.ndarray,
                 (float(grad) * 2.0 / observed) * diff * weights,
                 prediction.shape))
 
-    return Tensor._make(out_data, (prediction,), backward)
+    out = Tensor._make(_run_forward(run), (prediction,), backward)
+    _record(out, run)
+    return out
 
 
 def fused_masked_frobenius_reference(prediction: Tensor, truth: np.ndarray,

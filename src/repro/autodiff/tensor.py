@@ -16,11 +16,19 @@ Design notes
 * Broadcasting is supported everywhere numpy broadcasts; gradients are
   reduced back to the original shape by :func:`_unbroadcast`.
 * Graphs are freed after ``backward()`` unless ``retain_graph=True``.
+* Every op packages its forward computation as a local ``run()`` thunk that
+  (re)binds, via ``nonlocal``, any intermediate the backward closure needs.
+  Eager mode simply calls the thunk once; the capture/replay engine
+  (:mod:`repro.autodiff.replay`) records ``(output, thunk)`` pairs and later
+  re-executes the thunks directly — same arrays, same closures, no new
+  Tensors — which is what makes replay bit-for-bit identical to eager
+  execution (see docs/EXECUTION.md).
 """
 
 from __future__ import annotations
 
 import contextlib
+from time import perf_counter as _perf_counter
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -69,6 +77,63 @@ def _as_array(value: ArrayLike) -> np.ndarray:
 # hook covers both modes.  Costs a single bool check per op when off.
 _ANOMALY_ENABLED = False
 
+# ----------------------------------------------------------------------
+# Capture and profiling hooks
+# ----------------------------------------------------------------------
+# _TAPE, when set, is a recorder with an ``entries`` list and a ``made``
+# counter: every op appends its (output Tensor, forward thunk) pair and
+# Tensor._make increments ``made``.  The replay engine compares the two
+# to prove the capture covered every op (a custom op missing the thunk
+# protocol would otherwise replay stale values).  _PROFILER, when set,
+# receives exact per-op forward/backward timings.  Both cost one global
+# read per op when inactive.
+_TAPE = None
+_PROFILER = None
+
+
+def _set_tape(tape):
+    """Install ``tape`` as the active op recorder; returns the previous."""
+    global _TAPE
+    previous = _TAPE
+    _TAPE = tape
+    return previous
+
+
+def _set_profiler(profiler):
+    """Install ``profiler`` as the active op profiler; returns the previous."""
+    global _PROFILER
+    previous = _PROFILER
+    _PROFILER = profiler
+    return previous
+
+
+def _active_profiler():
+    """The currently-installed op profiler, or ``None``.
+
+    Accessor for sibling modules: the package ``__init__`` rebinds the
+    ``tensor`` attribute to the constructor function, so they cannot
+    read this module's globals through ``from . import tensor``.
+    """
+    return _PROFILER
+
+
+def _record(out: "Tensor", run: Callable[[], np.ndarray]) -> None:
+    """Register an op's (output, forward thunk) pair with the active tape."""
+    tape = _TAPE
+    if tape is not None:
+        tape.entries.append((out, run))
+
+
+def _run_forward(run: Callable[[], np.ndarray]) -> np.ndarray:
+    """Execute an op's forward thunk, timing it when a profiler is active."""
+    profiler = _PROFILER
+    if profiler is None:
+        return run()
+    start = _perf_counter()
+    data = run()
+    profiler._record_forward(run, _perf_counter() - start)
+    return data
+
 
 class AnomalyError(RuntimeError):
     """A non-finite value appeared under :func:`detect_anomaly`.
@@ -103,15 +168,15 @@ def detect_anomaly(enabled: bool = True):
         _ANOMALY_ENABLED = previous
 
 
-def _op_label(backward: Optional[Callable]) -> str:
-    """Human-readable op name recovered from a backward closure.
+def _op_label(closure: Optional[Callable]) -> str:
+    """Human-readable op name recovered from an op-local closure.
 
-    Every op defines its adjoint as a local ``backward`` function, so the
-    closure's qualname (``sigmoid.<locals>.backward``,
-    ``Tensor.__add__.<locals>.backward``) names the op that created the
-    output tensor.
+    Every op defines its adjoint as a local ``backward`` function and its
+    forward as a local ``run`` thunk, so either closure's qualname
+    (``sigmoid.<locals>.backward``, ``Tensor.__add__.<locals>.run``)
+    names the op that created the output tensor.
     """
-    qual = getattr(backward, "__qualname__", None)
+    qual = getattr(closure, "__qualname__", None)
     if not qual:
         return "<unknown op>"
     return qual.split(".<locals>")[0].split(".")[-1]
@@ -163,7 +228,7 @@ class Tensor:
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents",
-                 "name", "_grad_borrowed")
+                 "name", "_grad_borrowed", "_topo_cache")
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False,
                  name: Optional[str] = None):
@@ -173,6 +238,7 @@ class Tensor:
         self._grad_borrowed: bool = False
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: tuple = ()
+        self._topo_cache: Optional[list] = None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -226,6 +292,9 @@ class Tensor:
         parents = tuple(parents)
         if _ANOMALY_ENABLED:
             _anomaly_forward_check(np.asarray(data), parents, backward)
+        tape = _TAPE
+        if tape is not None:
+            tape.made += 1
         requires = any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
@@ -265,6 +334,9 @@ class Tensor:
             to 1 for scalar tensors (the usual loss case).
         retain_graph:
             Keep the graph alive so ``backward`` can be called again.
+            Also memoizes the topological order on this tensor so the
+            next ``backward`` skips the graph walk entirely (the replay
+            engine leans on this; see docs/EXECUTION.md).
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not "
@@ -281,11 +353,22 @@ class Tensor:
                     f"grad shape {grad.shape} does not match tensor shape "
                     f"{self.shape}")
 
-        order = self._topo_order()
+        order = self._topo_cache
+        if order is None:
+            order = self._topo_order()
+            if retain_graph:
+                self._topo_cache = order
         self._accumulate(grad)
+        profiler = _PROFILER
         for node in order:
             if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+                if profiler is None:
+                    node._backward(node.grad)
+                else:
+                    start = _perf_counter()
+                    node._backward(node.grad)
+                    profiler._record_backward(node._backward,
+                                              _perf_counter() - start)
                 if _ANOMALY_ENABLED:
                     node._anomaly_backward_check()
                 # Interior nodes' grads are transient workspace; clearing
@@ -295,6 +378,8 @@ class Tensor:
                 if not retain_graph:
                     node._backward = None
                     node._parents = ()
+        if not retain_graph:
+            self._topo_cache = None
 
     def _anomaly_backward_check(self) -> None:
         """Raise if this node's backward just wrote a non-finite gradient.
@@ -339,7 +424,9 @@ class Tensor:
     # ------------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = _ensure_tensor(other)
-        out_data = self.data + other.data
+
+        def run() -> np.ndarray:
+            return self.data + other.data
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -347,20 +434,29 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make(_run_forward(run), (self, other), backward)
+        _record(out, run)
+        return out
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
+        def run() -> np.ndarray:
+            return -self.data
+
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(-grad)
 
-        return Tensor._make(-self.data, (self,), backward)
+        out = Tensor._make(_run_forward(run), (self,), backward)
+        _record(out, run)
+        return out
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other = _ensure_tensor(other)
-        out_data = self.data - other.data
+
+        def run() -> np.ndarray:
+            return self.data - other.data
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -368,14 +464,18 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(-grad, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make(_run_forward(run), (self, other), backward)
+        _record(out, run)
+        return out
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return _ensure_tensor(other).__sub__(self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = _ensure_tensor(other)
-        out_data = self.data * other.data
+
+        def run() -> np.ndarray:
+            return self.data * other.data
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -383,12 +483,16 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(grad * self.data, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make(_run_forward(run), (self, other), backward)
+        _record(out, run)
+        return out
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = _ensure_tensor(other)
+        # Data-dependent guard: runs when the op is built (eager and
+        # capture), not on replay — see docs/EXECUTION.md.
         if (other.data == 0).any():
             n_bad = int((other.data == 0).sum())
             raise ValueError(
@@ -396,7 +500,9 @@ class Tensor:
                 f"{other.shape}); this would silently propagate inf/nan "
                 f"through the tape — mask the zeros or add an epsilon "
                 f"to the denominator first")
-        out_data = self.data / other.data
+
+        def run() -> np.ndarray:
+            return self.data / other.data
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -405,7 +511,9 @@ class Tensor:
                 other._accumulate(_unbroadcast(
                     -grad * self.data / (other.data ** 2), other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make(_run_forward(run), (self, other), backward)
+        _record(out, run)
+        return out
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return _ensure_tensor(other).__truediv__(self)
@@ -413,13 +521,17 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
-        out_data = self.data ** exponent
+
+        def run() -> np.ndarray:
+            return self.data ** exponent
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(_run_forward(run), (self,), backward)
+        _record(out, run)
+        return out
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         return self.matmul(other)
@@ -427,8 +539,10 @@ class Tensor:
     def matmul(self, other: ArrayLike) -> "Tensor":
         """Matrix product with full broadcasting over batch dimensions."""
         other = _ensure_tensor(other)
-        out_data = self.data @ other.data
         a, b = self, other
+
+        def run() -> np.ndarray:
+            return a.data @ b.data
 
         def backward(grad: np.ndarray) -> None:
             if a.requires_grad:
@@ -452,13 +566,16 @@ class Tensor:
                     gb = np.swapaxes(a.data, -1, -2) @ grad
                 b._accumulate(_unbroadcast(gb, b.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make(_run_forward(run), (self, other), backward)
+        _record(out, run)
+        return out
 
     # ------------------------------------------------------------------
     # reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        def run() -> np.ndarray:
+            return self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
@@ -468,7 +585,9 @@ class Tensor:
                 g = np.expand_dims(g, axis=axis)
             self._accumulate(np.broadcast_to(g, self.shape).copy())
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(_run_forward(run), (self,), backward)
+        _record(out, run)
+        return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -479,7 +598,12 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out_data = None
+
+        def run() -> np.ndarray:
+            nonlocal out_data
+            out_data = self.data.max(axis=axis, keepdims=keepdims)
+            return out_data
 
         def backward(grad: np.ndarray) -> None:
             if not self.requires_grad:
@@ -495,7 +619,9 @@ class Tensor:
                 else mask.sum()
             self._accumulate(mask * g / counts)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(_run_forward(run), (self,), backward)
+        _record(out, run)
+        return out
 
     # ------------------------------------------------------------------
     # shape ops
@@ -503,17 +629,20 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out_data = self.data.reshape(shape)
         original = self.shape
+
+        def run() -> np.ndarray:
+            return self.data.reshape(shape)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad.reshape(original))
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(_run_forward(run), (self,), backward)
+        _record(out, run)
+        return out
 
     def transpose(self, axes: Optional[Sequence[int]] = None) -> "Tensor":
-        out_data = self.data.transpose(axes)
         if axes is None:
             inverse = None
         else:
@@ -523,11 +652,16 @@ class Tensor:
             axes = tuple(int(a) % self.data.ndim for a in axes)
             inverse = np.argsort(axes)
 
+        def run() -> np.ndarray:
+            return self.data.transpose(axes)
+
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(_run_forward(run), (self,), backward)
+        _record(out, run)
+        return out
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         axes = list(range(self.ndim))
@@ -535,13 +669,15 @@ class Tensor:
         return self.transpose(axes)
 
     def __getitem__(self, index) -> "Tensor":
-        out_data = self.data[index]
         # Basic indexing (ints/slices) selects disjoint elements, so the
         # gradient can be written with a plain assignment; only fancy
         # (array) indexing needs the slow duplicate-accumulating add.at.
         parts = index if isinstance(index, tuple) else (index,)
         basic = all(isinstance(p, (int, np.integer, slice, type(None),
                                    type(Ellipsis))) for p in parts)
+
+        def run() -> np.ndarray:
+            return self.data[index]
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -552,25 +688,33 @@ class Tensor:
                     np.add.at(full, index, grad)
                 self._accumulate(full)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(_run_forward(run), (self,), backward)
+        _record(out, run)
+        return out
 
     def expand_dims(self, axis: int) -> "Tensor":
-        out_data = np.expand_dims(self.data, axis)
+        def run() -> np.ndarray:
+            return np.expand_dims(self.data, axis)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(np.squeeze(grad, axis=axis))
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(_run_forward(run), (self,), backward)
+        _record(out, run)
+        return out
 
     def squeeze(self, axis: int) -> "Tensor":
-        out_data = np.squeeze(self.data, axis=axis)
+        def run() -> np.ndarray:
+            return np.squeeze(self.data, axis=axis)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 self._accumulate(np.expand_dims(grad, axis=axis))
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(_run_forward(run), (self,), backward)
+        _record(out, run)
+        return out
 
 
 def _ensure_tensor(value: ArrayLike) -> Tensor:

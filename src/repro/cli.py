@@ -73,7 +73,8 @@ def cmd_compare(args) -> int:
     dataset = _build_dataset(args)
     data = prepare(dataset, s=args.s, h=args.h)
     budget = MethodBudget(epochs=args.epochs, batch_size=args.batch_size,
-                          max_train_batches=args.max_batches)
+                          max_train_batches=args.max_batches,
+                          engine=args.engine)
     roster = full_roster(budget)
     wanted = [m.strip() for m in args.methods.split(",") if m.strip()]
     unknown = [m for m in wanted if m not in roster]
@@ -190,6 +191,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--max-test-windows", type=int, default=32)
     compare.add_argument("--float32", action="store_true",
                          help="train in float32 (2x faster)")
+    compare.add_argument("--engine", default="eager",
+                         choices=("eager", "replay"),
+                         help="training-step executor: replay captures "
+                              "each step's op tape once and re-executes "
+                              "it (bit-for-bit identical, faster; see "
+                              "docs/EXECUTION.md)")
     compare.add_argument("--out", default=None,
                          help="write the result rows as JSON")
     compare.add_argument("--telemetry", default=None, metavar="FILE",

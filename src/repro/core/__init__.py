@@ -11,8 +11,8 @@ from .losses import (af_loss, bf_loss, factor_dirichlet, factor_frobenius,
 from .recovery import recover
 from .spatial import (DEFAULT_BLOCKS, GCNNBlock, SpatialFactorizer,
                       factorize_tensor_batch)
-from .trainer import (NonFiniteGradError, TrainConfig, Trainer,
-                      TrainResult)
+from .trainer import (ENGINE_MODES, NonFiniteGradError, TrainConfig,
+                      Trainer, TrainResult)
 
 __all__ = [
     "BasicFramework", "AdvancedFramework",
@@ -23,7 +23,7 @@ __all__ = [
     "recover",
     "masked_frobenius", "bf_loss", "af_loss",
     "factor_frobenius", "factor_dirichlet",
-    "Trainer", "TrainConfig", "TrainResult",
+    "Trainer", "TrainConfig", "TrainResult", "ENGINE_MODES",
     "PaperHyperParameters", "PracticalHyperParameters",
     "paper_bf", "paper_af", "practical_bf", "practical_af",
 ]

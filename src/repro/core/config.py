@@ -21,6 +21,7 @@ from ..contracts import (ContractPolicy, contract_policy,
 from .af import AdvancedFramework
 from .bf import BasicFramework
 from .spatial import GCNNBlock
+from .trainer import ENGINE_MODES
 
 __all__ = [
     "PaperHyperParameters", "PracticalHyperParameters",
@@ -29,6 +30,9 @@ __all__ = [
     # configuration knobs; the implementation is repro.contracts.
     "ContractPolicy", "contract_policy", "get_contract_policy",
     "set_contract_policy",
+    # Execution-engine selection (TrainConfig.engine / CLI --engine);
+    # the implementation is repro.autodiff.replay.
+    "ENGINE_MODES",
 ]
 
 

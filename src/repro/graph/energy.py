@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..autodiff import ops
-from ..autodiff.tensor import Tensor
+from ..autodiff.tensor import Tensor, _record, _run_forward
 from .laplacian import laplacian
 
 
@@ -45,10 +45,16 @@ def dirichlet_energy(x: Tensor, weights: np.ndarray,
         raise ValueError(
             f"signal has {x.shape[axis]} nodes on axis {axis}, graph has "
             f"{lap.shape[0]}")
-    moved = np.moveaxis(x.data, axis, 0)
-    flat = moved.reshape(moved.shape[0], -1)
-    lx = lap @ flat
-    out_data = np.asarray((flat * lx).sum())
+    moved_shape = None
+    flat = lx = None
+
+    def run() -> np.ndarray:
+        nonlocal moved_shape, flat, lx
+        moved = np.moveaxis(x.data, axis, 0)
+        moved_shape = moved.shape
+        flat = moved.reshape(moved.shape[0], -1)
+        lx = lap @ flat
+        return np.asarray((flat * lx).sum())
 
     def backward(grad: np.ndarray) -> None:
         if not x.requires_grad:
@@ -57,9 +63,11 @@ def dirichlet_energy(x: Tensor, weights: np.ndarray,
         # general adjoint costs the same here.
         dflat = float(grad) * (lx + lap.T @ flat)
         x._accumulate(np.moveaxis(
-            dflat.reshape(moved.shape), 0, axis))
+            dflat.reshape(moved_shape), 0, axis))
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(_run_forward(run), (x,), backward)
+    _record(out, run)
+    return out
 
 
 def dirichlet_energy_reference(x: Tensor, weights: np.ndarray,
