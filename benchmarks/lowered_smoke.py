@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Tape-lowering regression gate for run_benchmarks.sh.
+
+Three checks, all at smoke scale (see docs/EXECUTION.md):
+
+1. **Parity** — 5 training steps of BF and AF (dropout on) through the
+   lowered plan must produce bit-for-bit the same losses and final
+   weights as the eager engine.  The plan rewrites every recorded op
+   onto preallocated arena buffers and precomputes the backward
+   schedule, so any divergence means an instruction no longer performs
+   eager's exact arithmetic — the failure mode that would silently
+   corrupt checkpoints and kill-and-resume determinism.
+2. **Coverage** — both tapes must actually compile (no
+   ``LoweringFallbackWarning`` fallbacks); a silent fall-back to plain
+   replay would pass parity while benchmarking the wrong engine.
+3. **Speedup** — the lowered AF train step must be at least 1.05x
+   faster than plain tape replay (interleaved best-of-N, same seed),
+   the margin BENCH_AUTODIFF.json records.  The step is dominated by
+   BLAS/ufunc kernel time on this substrate (see docs/EXECUTION.md), so
+   the honest win over replay is modest; the gate asserts the plan
+   never costs more than the thunk walk it replaces.
+
+Exits non-zero on any failure so the benchmark sweep fails loudly.
+
+Usage: PYTHONPATH=src python3 benchmarks/lowered_smoke.py
+"""
+
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.autodiff import ReplayEngine, set_default_dtype
+from repro.autodiff.optim import Adam
+from repro.core import (AdvancedFramework, BasicFramework, af_loss, bf_loss)
+
+STEPS = 5
+REPEATS = 20
+MIN_AF_SPEEDUP_VS_REPLAY = 1.05
+
+
+def _proximity(n, rng):
+    w = rng.uniform(0.1, 1.0, size=(n, n))
+    w = (w + w.T) / 2.0
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+def _bf_parts(seed=0):
+    rng = np.random.default_rng(seed)
+    model = BasicFramework(8, 8, 7, np.random.default_rng(7), rank=3,
+                           encoder_dim=8, hidden_dim=16, dropout=0.2)
+    batch = (rng.uniform(size=(8, 4, 8, 8, 7)),
+             rng.uniform(size=(8, 2, 8, 8, 7)),
+             (rng.uniform(size=(8, 2, 8, 8)) < 0.4).astype(float))
+    return model, bf_loss, batch, 2
+
+
+def _af_parts(seed=0):
+    rng = np.random.default_rng(seed)
+    w = _proximity(8, rng)
+    model = AdvancedFramework(w, w, 7, np.random.default_rng(7), rank=4,
+                              rnn_hidden=8, rnn_order=2, dropout=0.2)
+
+    def loss_fn(prediction, truth, mask, r, c):
+        return af_loss(prediction, truth, mask, r, c, w, w)
+
+    batch = (rng.uniform(size=(8, 4, 8, 8, 7)),
+             rng.uniform(size=(8, 2, 8, 8, 7)),
+             (rng.uniform(size=(8, 2, 8, 8)) < 0.4).astype(float))
+    return model, loss_fn, batch, 2
+
+
+def _run_steps(parts_fn, engine_mode, steps=STEPS):
+    """Losses, final weights, and engine stats of ``steps`` steps."""
+    model, loss_fn, (history, truth, mask), horizon = parts_fn()
+    if engine_mode == "eager":
+        optimizer = Adam(model.parameters())
+        engine = None
+    else:
+        optimizer = Adam(model.parameters(), flat=True)
+        engine = ReplayEngine(model, loss_fn,
+                              lower=(engine_mode == "lowered"))
+    losses = []
+    for _ in range(steps):
+        if engine is not None:
+            loss = engine.forward(history, truth, mask, horizon)
+            optimizer.zero_grad()
+            engine.backward(loss)
+        else:
+            prediction, r, c = model(history, horizon)
+            loss = loss_fn(prediction, truth, mask, r, c)
+            optimizer.zero_grad()
+            loss.backward()
+        optimizer.step()
+        losses.append(float(loss.data))
+    weights = {k: v.copy() for k, v in model.state_dict().items()}
+    stats = engine.stats() if engine is not None else {}
+    return losses, weights, stats
+
+
+def check_parity_and_coverage(name, parts_fn):
+    eager_losses, eager_weights, _ = _run_steps(parts_fn, "eager")
+    lowered_losses, lowered_weights, stats = _run_steps(parts_fn, "lowered")
+    failures = []
+    if eager_losses != lowered_losses:
+        failures.append(f"{name} losses diverge: "
+                        f"{eager_losses} vs {lowered_losses}")
+    bad = [k for k in eager_weights
+           if not np.array_equal(eager_weights[k], lowered_weights[k])]
+    if bad:
+        failures.append(f"{name} weights diverge after {STEPS} steps: "
+                        f"{bad[:4]}")
+    if stats.get("plan_fallbacks"):
+        failures.append(f"{name} tape fell back to plain replay "
+                        f"({stats['plan_fallbacks']} fallbacks)")
+    if not stats.get("lowered_steps"):
+        failures.append(f"{name} never ran a lowered step: {stats}")
+    return failures
+
+
+def check_af_speedup():
+    """Interleaved best-of-REPEATS replay vs lowered AF step times."""
+    steps = {}
+    for mode in ("replay", "lowered"):
+        model, loss_fn, (history, truth, mask), horizon = _af_parts()
+        optimizer = Adam(model.parameters(), flat=True)
+        engine = ReplayEngine(model, loss_fn, lower=(mode == "lowered"))
+
+        def step(engine=engine, optimizer=optimizer):
+            loss = engine.forward(history, truth, mask, horizon)
+            optimizer.zero_grad()
+            engine.backward(loss)
+            optimizer.step()
+
+        step()                                      # capture
+        step()                                      # replay / lower+run
+        step()                                      # steady state
+        steps[mode] = step
+    best = {"replay": float("inf"), "lowered": float("inf")}
+    for _ in range(REPEATS):
+        for mode in ("replay", "lowered"):
+            start = time.perf_counter()
+            steps[mode]()
+            best[mode] = min(best[mode], time.perf_counter() - start)
+    return best["replay"] / best["lowered"], best["replay"], best["lowered"]
+
+
+def main() -> int:
+    set_default_dtype(np.float32)
+    failures = []
+    failures += check_parity_and_coverage("bf", _bf_parts)
+    failures += check_parity_and_coverage("af", _af_parts)
+    speedup, replay_s, lowered_s = check_af_speedup()
+    if speedup < MIN_AF_SPEEDUP_VS_REPLAY:
+        failures.append(
+            f"af lowered step only {speedup:.2f}x vs replay "
+            f"({lowered_s * 1e3:.2f} vs {replay_s * 1e3:.2f} ms), "
+            f"need >= {MIN_AF_SPEEDUP_VS_REPLAY}x")
+    if failures:
+        print(f"lowered smoke: FAIL ({'; '.join(failures)})")
+        return 1
+    print(f"lowered smoke: OK (bf+af bit-for-bit over {STEPS} steps, "
+          f"no fallbacks, af lowered {speedup:.2f}x vs replay, "
+          f"{lowered_s * 1e3:.2f} vs {replay_s * 1e3:.2f} ms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,11 @@ python3 benchmarks/chaos_smoke.py || exit 1
 # step must hold its >= 1.2x speedup (see docs/EXECUTION.md).
 python3 benchmarks/replay_smoke.py || exit 1
 
+# Tape-lowering gate: the compiled instruction plan must stay
+# bit-for-bit identical to eager, compile both tapes without fallback,
+# and beat plain replay on the AF step (see docs/EXECUTION.md).
+python3 benchmarks/lowered_smoke.py || exit 1
+
 # Kernel microbenchmarks first: fused vs. reference autodiff ops and
 # one AF/BF training step.  Writes BENCH_AUTODIFF.json at the repo root.
 python3 benchmarks/microbench.py \

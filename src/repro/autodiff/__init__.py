@@ -21,6 +21,7 @@ from .layers import (MLP, Activation, Dropout, Embedding, LayerNorm,
 from .module import Module, Parameter
 from .optim import SGD, Adam, Optimizer, StepDecay, clip_grad_norm
 from .profiler import OpProfiler, profile
+from .lowering import (LoweredPlan, LoweringFallbackWarning, lower_tape)
 from .replay import CaptureMismatchWarning, ReplayEngine
 from .rnn import GRU, GRUCell, LSTMCell, Seq2Seq
 from .tensor import (AnomalyError, Tensor, anomaly_enabled, detect_anomaly,
@@ -39,6 +40,7 @@ __all__ = [
     "GRUCell", "GRU", "LSTMCell", "Seq2Seq",
     "Optimizer", "SGD", "Adam", "StepDecay", "clip_grad_norm",
     "ReplayEngine", "CaptureMismatchWarning",
+    "LoweredPlan", "LoweringFallbackWarning", "lower_tape",
     "profile", "OpProfiler",
     "check_gradients", "numerical_gradient",
 ]

@@ -209,7 +209,7 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 tensor_i._accumulate(grad[tuple(index)])
 
     out = Tensor._make(_run_forward(run), tuple(tensors), backward)
-    _record(out, run)
+    _record(out, run, ("concat", {"tensors": tuple(tensors), "axis": axis}))
     return out
 
 
@@ -227,7 +227,7 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 tensor_i._accumulate(slab)
 
     out = Tensor._make(_run_forward(run), tuple(tensors), backward)
-    _record(out, run)
+    _record(out, run, ("stack", {"tensors": tuple(tensors), "axis": axis}))
     return out
 
 
@@ -320,7 +320,7 @@ def dropout(x: Tensor, rate: float, rng: np.random.Generator,
             x._accumulate(grad * mask)
 
     out = Tensor._make(_run_forward(run), (x,), backward)
-    _record(out, run)
+    _record(out, run, ("dropout", {"x": x, "keep": keep, "rng": rng}))
     return out
 
 
@@ -993,7 +993,8 @@ def fused_gru_gates(x: Tensor, h: Tensor,
                 b_cand._accumulate(dpre_c.sum(axis=lead))
 
     out = Tensor._make(_run_forward(run), (x, h) + params, backward)
-    _record(out, run)
+    _record(out, run, ("fused_gru_gates",
+                       {"x": x, "h": h, "params": params, "hidden": hidden}))
     return out
 
 
@@ -1169,7 +1170,10 @@ def fused_twin_cheb_conv(lap2: np.ndarray, x: Tensor,
 
     out = Tensor._make(_run_forward(run), (x, w_a, b_a, w_b, b_b),
                        backward)
-    _record(out, run)
+    _record(out, run, ("fused_twin_cheb_conv",
+                       {"x": x, "w_a": w_a, "b_a": b_a, "w_b": w_b,
+                        "b_b": b_b, "order": order, "lap_b": lap_b,
+                        "lap_t": lap_t}))
     return out
 
 
@@ -1282,7 +1286,13 @@ def fused_twin_cnrnn_cell(lap2: np.ndarray, x: Tensor, h: Tensor,
     out = Tensor._make(_run_forward(run),
                        (x, h) + tuple(params_a) + tuple(params_b),
                        backward)
-    _record(out, run)
+    _record(out, run, ("fused_twin_cnrnn_cell",
+                       {"x": x, "h": h,
+                        "params_a": (w_reset_a, b_reset_a, w_update_a,
+                                     b_update_a, w_cand_a, b_cand_a),
+                        "params_b": (w_reset_b, b_reset_b, w_update_b,
+                                     b_update_b, w_cand_b, b_cand_b),
+                        "order": order, "lap_b": lap_b, "lap_t": lap_t}))
     return out
 
 
@@ -1370,7 +1380,15 @@ def fused_twin_gcnn_stage(lap2: np.ndarray, x: Tensor,
 
     out = Tensor._make(_run_forward(run), (x, w_a, b_a, w_b, b_b),
                        backward)
-    _record(out, run)
+    _record(out, run, ("fused_twin_gcnn_stage",
+                       {"x": x, "w_a": w_a, "b_a": b_a, "w_b": w_b,
+                        "b_b": b_b, "order": order, "stride": stride,
+                        "lap_b": lap_b, "lap_t": lap_t, "real": real,
+                        "perm_real": perm_real,
+                        "cluster_of_node": cluster_of_node,
+                        "scale": scale,
+                        "perm_size": None if perm is None
+                        else int(perm.size)}))
     return out
 
 
@@ -1439,7 +1457,9 @@ def fused_twin_latent_head(x: Tensor,
 
     out = Tensor._make(_run_forward(run),
                        (x,) + tuple(head_a) + tuple(head_b), backward)
-    _record(out, run)
+    _record(out, run, ("fused_twin_latent_head",
+                       {"x": x, "head_a": (wb_a, bb_a, wl_a, bl_a),
+                        "head_b": (wb_b, bb_b, wl_b, bl_b)}))
     return out
 
 
@@ -1490,7 +1510,7 @@ def fused_softmax_recovery(r_factors: Tensor, c_factors: Tensor) -> Tensor:
                 _unbroadcast(np.moveaxis(dc, -3, -1), c.shape))
 
     out = Tensor._make(_run_forward(run), (r, c), backward)
-    _record(out, run)
+    _record(out, run, ("fused_softmax_recovery", {"r": r, "c": c}))
     return out
 
 
@@ -1554,7 +1574,9 @@ def fused_masked_frobenius(prediction: Tensor, truth: np.ndarray,
                 prediction.shape))
 
     out = Tensor._make(_run_forward(run), (prediction,), backward)
-    _record(out, run)
+    _record(out, run, ("fused_masked_frobenius",
+                       {"prediction": prediction, "truth": truth_arr,
+                        "mask": mask_arr, "weights": weights}))
     return out
 
 

@@ -42,13 +42,18 @@ Fallback rules (see docs/EXECUTION.md):
 from __future__ import annotations
 
 import warnings
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from . import ops as _ops
+from .lowering import LoweredPlan, LoweringFallbackWarning, lower_tape
 from .tensor import (Tensor, _active_profiler, _run_forward, _set_tape,
                      anomaly_enabled, get_default_dtype)
+
+__all__ = ["CaptureMismatchWarning", "LoweringFallbackWarning",
+           "ReplayEngine"]
 
 
 class CaptureMismatchWarning(RuntimeWarning):
@@ -59,14 +64,16 @@ class _Tape:
     """One recorded training step: thunks, loss, and input buffers."""
 
     __slots__ = ("signature", "entries", "made", "loss",
-                 "hist_buf", "truth_buf", "mask_buf")
+                 "hist_buf", "truth_buf", "mask_buf", "plan")
 
     def __init__(self, signature: Tuple):
         self.signature = signature
-        #: ``(output Tensor, forward thunk)`` per recorded op, in
+        #: ``(output Tensor, forward thunk, spec)`` per recorded op, in
         #: creation order — which is execution order, so replay repeats
-        #: eager's RNG draws exactly.
-        self.entries: List[Tuple[Tensor, Callable[[], np.ndarray]]] = []
+        #: eager's RNG draws exactly.  ``spec`` describes the op to the
+        #: lowering pass (``None`` for ops without a lowering spec).
+        self.entries: List[Tuple[Tensor, Callable[[], np.ndarray],
+                                 Optional[tuple]]] = []
         #: Tensors created via ``Tensor._make`` while recording; must
         #: equal ``len(entries)`` for the capture to be trusted.
         self.made = 0
@@ -74,12 +81,15 @@ class _Tape:
         self.hist_buf: Optional[np.ndarray] = None
         self.truth_buf: Optional[np.ndarray] = None
         self.mask_buf: Optional[np.ndarray] = None
+        #: Lowered execution plan: ``None`` until compiled, ``False`` if
+        #: lowering declined (this tape replays forever), else the plan.
+        self.plan = None
 
     def arena_nbytes(self) -> int:
         """Bytes held live by this tape's buffers and op outputs."""
         total = (self.hist_buf.nbytes + self.truth_buf.nbytes
                  + self.mask_buf.nbytes)
-        for out, _ in self.entries:
+        for out, _, _ in self.entries:
             total += out.data.nbytes
         return total
 
@@ -95,9 +105,15 @@ class ReplayEngine:
         ``loss_fn(prediction, targets, masks, r, c) -> scalar Tensor``
         (the :class:`repro.core.Trainer` contract).
     max_tapes:
-        Tapes kept per engine; the oldest is evicted beyond this (a
-        ragged final batch per epoch needs 2; more only helps when batch
-        shapes genuinely alternate).
+        Tapes kept per engine; the least-recently-used is evicted beyond
+        this (a ragged final batch per epoch needs 2; more only helps
+        when batch shapes genuinely alternate).
+    lower:
+        When true, each tape is compiled into a flat
+        :class:`~repro.autodiff.lowering.LoweredPlan` on its first reuse
+        and steady-state steps run the plan's two instruction loops
+        instead of walking thunks and closures.  A tape the lowerer
+        declines (:class:`LoweringFallbackWarning`) keeps replaying.
 
     Usage (what ``Trainer.fit`` does per batch)::
 
@@ -109,16 +125,21 @@ class ReplayEngine:
             engine.backward(loss)
     """
 
-    def __init__(self, model, loss_fn, max_tapes: int = 4):
+    def __init__(self, model, loss_fn, max_tapes: int = 4,
+                 lower: bool = False):
         self.model = model
         self.loss_fn = loss_fn
         self.max_tapes = int(max_tapes)
+        self.lower = bool(lower)
         self.enabled = True
         self.captures = 0
         self.replays = 0
         self.eager_steps = 0
-        self._tapes: Dict[Tuple, _Tape] = {}
+        self.lowered_steps = 0
+        self.plan_fallbacks = 0
+        self._tapes: "OrderedDict[Tuple, _Tape]" = OrderedDict()
         self._active: Optional[_Tape] = None
+        self._plan_active: Optional[LoweredPlan] = None
 
     # ------------------------------------------------------------------
     def _signature(self, histories, targets, masks, horizon: int) -> Tuple:
@@ -145,16 +166,34 @@ class ReplayEngine:
         if tape is None:
             return self._capture(signature, histories, targets, masks,
                                  horizon)
+        self._tapes.move_to_end(signature)
+        if self.lower:
+            plan = tape.plan
+            if plan is None:
+                # Lazy compile on first reuse: the capture step's
+                # backward has already memoized the topological order on
+                # the loss, so the backward schedule freezes for free.
+                plan = lower_tape(tape)
+                tape.plan = plan if plan is not None else False
+                if plan is None:
+                    self.plan_fallbacks += 1
+            if plan:
+                return self._run_plan(tape, plan, histories, targets,
+                                      masks)
         return self._replay(tape, histories, targets, masks)
 
     def backward(self, loss: Tensor) -> None:
         """Backward pass for a loss returned by :meth:`forward`.
 
-        On a live tape the graph is retained (and its topological order
-        memoized on the loss Tensor) so the next replay can reuse it; a
-        capture-fallback loss backpropagates normally.
+        A lowered step runs the plan's precomputed backward schedule; on
+        a live (non-lowered) tape the graph is retained (and its
+        topological order memoized on the loss Tensor) so the next
+        replay can reuse it; a capture-fallback loss backpropagates
+        normally.
         """
-        if self._active is not None:
+        if self._plan_active is not None:
+            self._plan_active.run_backward()
+        elif self._active is not None:
             loss.backward(retain_graph=True)
         else:
             loss.backward()
@@ -200,10 +239,10 @@ class ReplayEngine:
             return loss
         tape.loss = loss
         if len(self._tapes) >= self.max_tapes:
-            oldest = next(iter(self._tapes))
-            del self._tapes[oldest]
+            self._tapes.popitem(last=False)     # evict least recently used
         self._tapes[signature] = tape
         self._active = tape
+        self._plan_active = None
         self.captures += 1
         return loss
 
@@ -219,15 +258,25 @@ class ReplayEngine:
         # every downstream op drifts off the eager bit pattern.
         # np.asarray is a no-op when the dtype already matches.
         if _active_profiler() is None:
-            for out, run in tape.entries:
+            for out, run, _ in tape.entries:
                 out.data = np.asarray(run(), dtype=out.data.dtype)
         else:
-            for out, run in tape.entries:
+            for out, run, _ in tape.entries:
                 out.data = np.asarray(_run_forward(run),
                                       dtype=out.data.dtype)
         self._active = tape
+        self._plan_active = None
         self.replays += 1
         return tape.loss
+
+    def _run_plan(self, tape: _Tape, plan: LoweredPlan, histories,
+                  targets, masks) -> Tensor:
+        """Steady-state lowered step: one flat forward instruction loop."""
+        loss = plan.run_forward(histories, targets, masks)
+        self._active = tape
+        self._plan_active = plan
+        self.lowered_steps += 1
+        return loss
 
     # ------------------------------------------------------------------
     def invalidate(self) -> None:
@@ -241,15 +290,36 @@ class ReplayEngine:
         """
         self._tapes.clear()
         self._active = None
+        self._plan_active = None
 
     def arena_nbytes(self) -> int:
         """Total bytes held live across all recorded tapes' arenas."""
         return sum(t.arena_nbytes() for t in self._tapes.values())
 
+    def plan_stats(self) -> Dict[str, int]:
+        """Aggregated lowering statistics across the live tapes' plans."""
+        plans = [t.plan for t in self._tapes.values()
+                 if isinstance(t.plan, LoweredPlan)]
+        totals = {"plans": len(plans), "plan_instructions": 0,
+                  "plan_fused_chains": 0, "plan_fused_ops": 0,
+                  "plan_elided": 0, "plan_scratch_nbytes": 0}
+        for plan in plans:
+            totals["plan_instructions"] += plan.n_forward + plan.n_backward
+            totals["plan_fused_chains"] += plan.n_fused_chains
+            totals["plan_fused_ops"] += plan.n_fused_ops
+            totals["plan_elided"] += plan.n_elided
+            totals["plan_scratch_nbytes"] += plan.scratch_nbytes
+        return totals
+
     def stats(self) -> Dict[str, float]:
         """Counters for telemetry: how the engine actually executed."""
-        return {"captures": self.captures, "replays": self.replays,
-                "eager_steps": self.eager_steps,
-                "tapes": len(self._tapes),
-                "arena_nbytes": self.arena_nbytes(),
-                "enabled": self.enabled}
+        stats = {"captures": self.captures, "replays": self.replays,
+                 "eager_steps": self.eager_steps,
+                 "lowered_steps": self.lowered_steps,
+                 "plan_fallbacks": self.plan_fallbacks,
+                 "tapes": len(self._tapes),
+                 "arena_nbytes": self.arena_nbytes(),
+                 "enabled": self.enabled}
+        if self.lower:
+            stats.update(self.plan_stats())
+        return stats

@@ -117,11 +117,22 @@ def _active_profiler():
     return _PROFILER
 
 
-def _record(out: "Tensor", run: Callable[[], np.ndarray]) -> None:
-    """Register an op's (output, forward thunk) pair with the active tape."""
+def _record(out: "Tensor", run: Callable[[], np.ndarray],
+            spec: Optional[tuple] = None) -> None:
+    """Register an op's (output, forward thunk) pair with the active tape.
+
+    ``spec``, when given, is a ``(kind, *payload)`` tuple describing the
+    op to the tape-lowering pass (:mod:`repro.autodiff.lowering`): the
+    kind names a registered lowering rule and the payload carries the
+    operands/constants the rule needs to rebuild the op as a flat
+    buffer-writing instruction.  Ops without a spec are lowered
+    generically (their thunk is re-executed, exactly like replay) when
+    their kind is known to be safe, and force the whole tape back to
+    plain replay otherwise.
+    """
     tape = _TAPE
     if tape is not None:
-        tape.entries.append((out, run))
+        tape.entries.append((out, run, spec))
 
 
 def _run_forward(run: Callable[[], np.ndarray]) -> np.ndarray:
@@ -435,7 +446,7 @@ class Tensor:
                 other._accumulate(_unbroadcast(grad, other.shape))
 
         out = Tensor._make(_run_forward(run), (self, other), backward)
-        _record(out, run)
+        _record(out, run, ("add", self, other))
         return out
 
     __radd__ = __add__
@@ -449,7 +460,7 @@ class Tensor:
                 self._accumulate(-grad)
 
         out = Tensor._make(_run_forward(run), (self,), backward)
-        _record(out, run)
+        _record(out, run, ("neg", self))
         return out
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
@@ -465,7 +476,7 @@ class Tensor:
                 other._accumulate(_unbroadcast(-grad, other.shape))
 
         out = Tensor._make(_run_forward(run), (self, other), backward)
-        _record(out, run)
+        _record(out, run, ("sub", self, other))
         return out
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
@@ -484,7 +495,7 @@ class Tensor:
                 other._accumulate(_unbroadcast(grad * self.data, other.shape))
 
         out = Tensor._make(_run_forward(run), (self, other), backward)
-        _record(out, run)
+        _record(out, run, ("mul", self, other))
         return out
 
     __rmul__ = __mul__
@@ -567,7 +578,7 @@ class Tensor:
                 b._accumulate(_unbroadcast(gb, b.shape))
 
         out = Tensor._make(_run_forward(run), (self, other), backward)
-        _record(out, run)
+        _record(out, run, ("matmul", self, other))
         return out
 
     # ------------------------------------------------------------------
@@ -586,7 +597,7 @@ class Tensor:
             self._accumulate(np.broadcast_to(g, self.shape).copy())
 
         out = Tensor._make(_run_forward(run), (self,), backward)
-        _record(out, run)
+        _record(out, run, ("sum", self, axis, keepdims))
         return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -639,7 +650,7 @@ class Tensor:
                 self._accumulate(grad.reshape(original))
 
         out = Tensor._make(_run_forward(run), (self,), backward)
-        _record(out, run)
+        _record(out, run, ("reshape", self, shape))
         return out
 
     def transpose(self, axes: Optional[Sequence[int]] = None) -> "Tensor":
@@ -660,7 +671,7 @@ class Tensor:
                 self._accumulate(grad.transpose(inverse))
 
         out = Tensor._make(_run_forward(run), (self,), backward)
-        _record(out, run)
+        _record(out, run, ("transpose", self, axes))
         return out
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
@@ -689,7 +700,7 @@ class Tensor:
                 self._accumulate(full)
 
         out = Tensor._make(_run_forward(run), (self,), backward)
-        _record(out, run)
+        _record(out, run, ("getitem", self, index, basic))
         return out
 
     def expand_dims(self, axis: int) -> "Tensor":
@@ -701,7 +712,7 @@ class Tensor:
                 self._accumulate(np.squeeze(grad, axis=axis))
 
         out = Tensor._make(_run_forward(run), (self,), backward)
-        _record(out, run)
+        _record(out, run, ("expand_dims", self, axis))
         return out
 
     def squeeze(self, axis: int) -> "Tensor":
@@ -713,7 +724,7 @@ class Tensor:
                 self._accumulate(np.expand_dims(grad, axis=axis))
 
         out = Tensor._make(_run_forward(run), (self,), backward)
-        _record(out, run)
+        _record(out, run, ("squeeze", self, axis))
         return out
 
 

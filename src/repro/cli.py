@@ -173,6 +173,7 @@ def cmd_info(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .core.trainer import ENGINE_MODES
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -192,11 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--float32", action="store_true",
                          help="train in float32 (2x faster)")
     compare.add_argument("--engine", default="eager",
-                         choices=("eager", "replay"),
+                         choices=ENGINE_MODES,
                          help="training-step executor: replay captures "
                               "each step's op tape once and re-executes "
-                              "it (bit-for-bit identical, faster; see "
-                              "docs/EXECUTION.md)")
+                              "it; lowered also compiles the tape into a "
+                              "flat fused instruction plan (both "
+                              "bit-for-bit identical to eager, faster; "
+                              "see docs/EXECUTION.md)")
     compare.add_argument("--out", default=None,
                          help="write the result rows as JSON")
     compare.add_argument("--telemetry", default=None, metavar="FILE",

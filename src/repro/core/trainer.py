@@ -41,7 +41,7 @@ BEST_NAME = "best.npz"
 NONFINITE_GRAD_POLICIES = ("skip", "halve_lr", "abort")
 
 #: Valid settings for TrainConfig.engine (see docs/EXECUTION.md).
-ENGINE_MODES = ("eager", "replay")
+ENGINE_MODES = ("eager", "replay", "lowered")
 
 
 class NonFiniteGradError(FloatingPointError):
@@ -83,8 +83,11 @@ class TrainConfig:
     on_nonfinite_grad: str = "skip"
     #: Training-step execution engine: ``"eager"`` rebuilds the autodiff
     #: graph every step; ``"replay"`` captures it once per batch
-    #: signature and re-executes the recorded tape (bit-for-bit
-    #: identical, see :mod:`repro.autodiff.replay` and
+    #: signature and re-executes the recorded tape; ``"lowered"``
+    #: additionally compiles each tape into a flat instruction plan with
+    #: fused elementwise chains and a precomputed backward schedule.
+    #: All three are bit-for-bit identical (see
+    #: :mod:`repro.autodiff.replay`, :mod:`repro.autodiff.lowering` and
     #: docs/EXECUTION.md).
     engine: str = "eager"
 
@@ -152,13 +155,13 @@ class Trainer:
         self.model = model
         self.loss_fn = loss_fn
         self.config = config or TrainConfig()
-        # The replay engine hands Adam a gradient for every parameter on
-        # every step, which is exactly what the flat vectorized path
-        # needs; eager mode keeps the per-parameter loop (numerically
-        # they are bit-for-bit identical either way).
+        # The replay/lowered engines hand Adam a gradient for every
+        # parameter on every step, which is exactly what the flat
+        # vectorized path needs; eager mode keeps the per-parameter loop
+        # (numerically they are bit-for-bit identical either way).
         self.optimizer = Adam(model.parameters(),
                               lr=self.config.learning_rate,
-                              flat=(self.config.engine == "replay"))
+                              flat=(self.config.engine != "eager"))
         self.scheduler = StepDecay(self.optimizer,
                                    factor=self.config.decay_factor,
                                    every=self.config.decay_every)
@@ -210,9 +213,10 @@ class Trainer:
              n_val=len(split.val))
         contracts = get_contract_policy()
         engine = None
-        if cfg.engine == "replay":
+        if cfg.engine in ("replay", "lowered"):
             from ..autodiff.replay import ReplayEngine
-            engine = ReplayEngine(self.model, self.loss_fn)
+            engine = ReplayEngine(self.model, self.loss_fn,
+                                  lower=(cfg.engine == "lowered"))
             if start_epoch > 0:
                 # Belt and braces after a checkpoint restore: tapes are
                 # only recorded after this point, but any future restore
@@ -321,6 +325,11 @@ class Trainer:
         result.seconds = time.time() - start
         if engine is not None:
             emit(telemetry, "engine", mode=cfg.engine, **engine.stats())
+            if cfg.engine == "lowered":
+                emit(telemetry, "lowering",
+                     arena_nbytes=engine.arena_nbytes(),
+                     fallbacks=engine.plan_fallbacks,
+                     **engine.plan_stats())
             engine.invalidate()     # release the arenas with the run
         emit(telemetry, "fit_end", epochs_run=len(result.val_losses),
              best_epoch=result.best_epoch,

@@ -49,3 +49,36 @@ class TestBenchmarkHygiene:
         conftest = (BENCH_DIR / "conftest.py").read_text()
         assert "REPRO_BENCH_SCALE" in conftest
         assert "smoke" in conftest
+
+    def test_engine_gates_wired_into_sweep(self):
+        """Every execution-engine regression gate must run (and be able
+        to fail) the benchmark sweep."""
+        script = (BENCH_DIR.parent / "run_benchmarks.sh").read_text()
+        for gate in ("replay_smoke.py", "lowered_smoke.py"):
+            assert gate in script, f"{gate} not wired into the sweep"
+            assert (BENCH_DIR / gate).exists()
+            doc = ast.get_docstring(ast.parse((BENCH_DIR / gate)
+                                              .read_text()))
+            assert doc, f"{gate} lacks a docstring"
+
+    def test_microbench_reports_every_engine_section(self):
+        """BENCH_AUTODIFF.json must record all engine comparisons: the
+        eager/replay section, the lowered-plan section (with fusion and
+        instruction counters), and the end-to-end smoke fit."""
+        source = (BENCH_DIR / "microbench.py").read_text()
+        tree = ast.parse(source)
+        report_keys = {
+            key.value
+            for node in ast.walk(tree) if isinstance(node, ast.Dict)
+            for key in node.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        }
+        for section in ("engine_step", "lowered_step", "smoke_epochs",
+                        "af_step_op_profile"):
+            assert section in report_keys, (
+                f"microbench report lost its '{section}' section")
+        for field in ("speedup_vs_replay", "speedup_vs_eager",
+                      "plan_instructions", "plan_fused_chains",
+                      "plan_fused_ops", "lowered_alloc_peak_bytes"):
+            assert field in source, (
+                f"lowered_step section lost its '{field}' field")

@@ -231,6 +231,26 @@ class TestTapeLifecycle:
         engine.forward(*_batch(np.random.default_rng(0), batch=2), 2)
         assert engine.stats()["captures"] == 4
 
+    def test_hot_tape_survives_eviction_pressure(self):
+        """Eviction is least-recently-*used*, not first-in-first-out: a
+        tape that keeps getting replay hits must survive captures of
+        fresh signatures beyond ``max_tapes``."""
+        model, loss_fn = _bf_parts()
+        engine = ReplayEngine(model, loss_fn, max_tapes=2)
+        hot = _batch(np.random.default_rng(0), batch=4)
+        engine.forward(*hot, 2)                             # capture hot
+        for batch_size in (2, 3, 5):
+            engine.forward(*hot, 2)                         # keep it hot
+            engine.forward(*_batch(np.random.default_rng(1),
+                                   batch=batch_size), 2)    # churn
+        # Under FIFO the hot tape would have been evicted by the first
+        # churn capture; under LRU every hot step after the first is a
+        # replay and never a re-capture.
+        engine.forward(*hot, 2)
+        stats = engine.stats()
+        assert stats["captures"] == 4           # hot once + 3 churn
+        assert stats["replays"] == 4            # every other hot step
+
 
 class TestFallbacks:
     def test_declines_under_detect_anomaly(self):
