@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Forecast-serving regression gate for run_benchmarks.sh.
+
+Three checks at smoke scale (see docs/SERVING.md), results recorded in
+``BENCH_SERVE.json`` at the repo root:
+
+1. **Parity** — a forecast served through the full stack (registry ->
+   checksummed checkpoint -> inference tape -> response cache) must be
+   bit-identical to calling ``forecast_latest`` on the fitted
+   forecaster directly, for both the replay and the lowered inference
+   engines, cold and warm.  Any divergence means the serving path no
+   longer computes what the paper's model computes.
+2. **Cache speedup** — a response-cache hit must be at least
+   ``MIN_CACHE_SPEEDUP``x faster than a cold (cache-cleared, warm-tape)
+   forward; the cache is the first rung of the degradation ladder and
+   must stay effectively free.
+3. **Throughput floor** — a mixed request stream (repeats + new
+   windows) must sustain at least ``MIN_FORECASTS_PER_SEC``
+   forecasts/sec; p50/p99 latency and forecasts/sec are recorded.
+
+Exits non-zero on any failure so the benchmark sweep fails loudly.
+
+Usage: python3 benchmarks/serve_smoke.py
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import prepare, toy_dataset
+from repro.experiments.methods import MethodBudget, make_bf
+from repro.forecast import forecast_latest
+from repro.persistence import save_checkpoint
+from repro.serve import (ForecastRequest, ForecastService, ModelKey,
+                         ServeConfig)
+
+S, H = 4, 2
+N_REQUESTS = 60
+N_TAILS = 6                      # distinct "nows" cycled in the stream
+TIMING_REPEATS = 30
+MIN_CACHE_SPEEDUP = 5.0
+MIN_FORECASTS_PER_SEC = 25.0
+REPORT = Path(__file__).parent.parent / "BENCH_SERVE.json"
+
+
+def _fit():
+    dataset = toy_dataset(n_days=2, n_regions=8, seed=0)
+    data = prepare(dataset, s=S, h=H)
+    budget = MethodBudget(epochs=1, batch_size=8, max_train_batches=4)
+    forecaster = make_bf(data, budget)
+    forecaster.fit(data.windows, data.split, horizon=H)
+    return data, budget, forecaster
+
+
+def _service(engine, data, budget, path, key):
+    service = ForecastService(ServeConfig(engine=engine))
+    service.register(key, path,
+                     lambda: make_bf(data, budget).model)
+    return service
+
+
+def check_parity(data, budget, forecaster, path, key):
+    """Served == forecast_latest, bitwise, per engine, cold and warm."""
+    failures = []
+    parity = {}
+    t = data.sequence.n_intervals
+    tails = [data.sequence.slice(0, t - i) for i in range(3)]
+    for engine in ("replay", "lowered"):
+        service = _service(engine, data, budget, path, key)
+        exact = True
+        for repeat in range(2):              # cold pass, then warm pass
+            for tail in tails:
+                direct = forecast_latest(forecaster, tail, S, H)
+                served = service.forecast(key, tail, S, H)
+                if not np.array_equal(served, direct):
+                    exact = False
+                    failures.append(
+                        f"{engine} serving diverged from forecast_latest "
+                        f"(repeat {repeat}, max abs diff "
+                        f"{np.abs(served - direct).max():.3e})")
+        parity[engine] = exact
+        service.close()
+    parity["windows"] = len(tails)
+    return parity, failures
+
+
+def check_cache_speedup(data, budget, path, key):
+    """Best-of-N cache hit vs cold (cache-cleared, warm-tape) forward."""
+    service = _service("replay", data, budget, path, key)
+    request = ForecastRequest(key, data.sequence, S, H)
+    service.forecast_one(request)            # capture tape + fill cache
+    cold_s = hit_s = float("inf")
+    for _ in range(TIMING_REPEATS):
+        service.cache.clear()
+        start = time.perf_counter()
+        response = service.forecast_one(request)
+        cold_s = min(cold_s, time.perf_counter() - start)
+        assert response.cache == "miss"
+        start = time.perf_counter()
+        response = service.forecast_one(request)
+        hit_s = min(hit_s, time.perf_counter() - start)
+        assert response.cache == "hit"
+    service.close()
+    speedup = cold_s / hit_s
+    section = {"cold_ms": cold_s * 1e3, "hit_ms": hit_s * 1e3,
+               "speedup": speedup, "floor": MIN_CACHE_SPEEDUP}
+    failures = []
+    if speedup < MIN_CACHE_SPEEDUP:
+        failures.append(
+            f"cache hit only {speedup:.1f}x faster than cold forward "
+            f"({hit_s * 1e3:.3f} vs {cold_s * 1e3:.3f} ms), need >= "
+            f"{MIN_CACHE_SPEEDUP}x")
+    return section, failures
+
+
+def check_throughput(data, budget, path, key):
+    """Forecasts/sec and latency percentiles over a mixed stream."""
+    service = _service("replay", data, budget, path, key)
+    t = data.sequence.n_intervals
+    requests = [
+        ForecastRequest(key, data.sequence.slice(0, t - i % N_TAILS), S, H)
+        for i in range(N_REQUESTS)]
+    latencies = []
+    for request in requests:
+        start = time.perf_counter()
+        response = service.forecast_one(request)
+        latencies.append(time.perf_counter() - start)
+        assert response.ok, response.error
+    stats = service.stats()
+    service.close()
+    total = sum(latencies)
+    ms = sorted(1e3 * x for x in latencies)
+    pct = lambda q: ms[min(len(ms) - 1, int(q * len(ms)))]  # noqa: E731
+    section = {
+        "n_requests": N_REQUESTS,
+        "distinct_windows": N_TAILS,
+        "forecasts_per_sec": N_REQUESTS / total,
+        "p50_ms": pct(0.50),
+        "p99_ms": pct(0.99),
+        "floor_per_sec": MIN_FORECASTS_PER_SEC,
+        "cache": stats["cache"],
+        "engine": stats["engines"].get(str(key), {}),
+    }
+    failures = []
+    if section["forecasts_per_sec"] < MIN_FORECASTS_PER_SEC:
+        failures.append(
+            f"throughput {section['forecasts_per_sec']:.1f}/s below the "
+            f"{MIN_FORECASTS_PER_SEC}/s floor")
+    return section, failures
+
+
+def main() -> int:
+    data, budget, forecaster = _fit()
+    tmp = Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
+    path = tmp / "bf.npz"
+    save_checkpoint(path, forecaster.model, epoch=0)
+    key = ModelKey("toy", "smoke")
+
+    failures = []
+    parity, parity_failures = check_parity(data, budget, forecaster, path,
+                                           key)
+    failures += parity_failures
+    cache, cache_failures = check_cache_speedup(data, budget, path, key)
+    failures += cache_failures
+    throughput, throughput_failures = check_throughput(data, budget, path,
+                                                       key)
+    failures += throughput_failures
+
+    report = {"scale": "smoke", "s": S, "h": H, "parity": parity,
+              "cache": cache, "throughput": throughput}
+    REPORT.write_text(json.dumps(report, indent=2, sort_keys=False)
+                      + "\n")
+    if failures:
+        print(f"serve smoke: FAIL ({'; '.join(failures)})")
+        return 1
+    print(f"serve smoke: OK (replay+lowered bit-identical to "
+          f"forecast_latest, cache hit {cache['speedup']:.0f}x vs cold, "
+          f"{throughput['forecasts_per_sec']:,.0f} forecasts/s, "
+          f"p50 {throughput['p50_ms']:.2f}ms / "
+          f"p99 {throughput['p99_ms']:.2f}ms -> {REPORT.name})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

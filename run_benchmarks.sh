@@ -29,6 +29,13 @@ python3 benchmarks/replay_smoke.py || exit 1
 # and beat plain replay on the AF step (see docs/EXECUTION.md).
 python3 benchmarks/lowered_smoke.py || exit 1
 
+# Serving gate: forecasts served through the registry/cache/inference
+# tapes must stay bit-identical to forecast_latest, the response cache
+# must stay >= 5x faster than a cold forward, and the request stream
+# must hold its throughput floor.  Writes BENCH_SERVE.json at the repo
+# root (see docs/SERVING.md).
+python3 benchmarks/serve_smoke.py || exit 1
+
 # Kernel microbenchmarks first: fused vs. reference autodiff ops and
 # one AF/BF training step.  Writes BENCH_AUTODIFF.json at the repo root.
 python3 benchmarks/microbench.py \

@@ -22,7 +22,7 @@ from .module import Module, Parameter
 from .optim import SGD, Adam, Optimizer, StepDecay, clip_grad_norm
 from .profiler import OpProfiler, profile
 from .lowering import (LoweredPlan, LoweringFallbackWarning, lower_tape)
-from .replay import CaptureMismatchWarning, ReplayEngine
+from .replay import CaptureMismatchWarning, InferenceEngine, ReplayEngine
 from .rnn import GRU, GRUCell, LSTMCell, Seq2Seq
 from .tensor import (AnomalyError, Tensor, anomaly_enabled, detect_anomaly,
                      get_default_dtype, ones, set_default_dtype, tensor,
@@ -39,7 +39,7 @@ __all__ = [
     "LayerNorm",
     "GRUCell", "GRU", "LSTMCell", "Seq2Seq",
     "Optimizer", "SGD", "Adam", "StepDecay", "clip_grad_norm",
-    "ReplayEngine", "CaptureMismatchWarning",
+    "ReplayEngine", "InferenceEngine", "CaptureMismatchWarning",
     "LoweredPlan", "LoweringFallbackWarning", "lower_tape",
     "profile", "OpProfiler",
     "check_gradients", "numerical_gradient",

@@ -1232,7 +1232,11 @@ class LoweredPlan:
         self.hist_buf = tape.hist_buf
         self.truth_buf = tape.truth_buf
         self.mask_buf = tape.mask_buf
-        self._seed = np.ones_like(tape.loss.data)
+        # Forward-only plans (inference tapes) have no backward schedule
+        # and their root is a full prediction tensor, not a scalar loss —
+        # don't allocate a prediction-sized seed nobody will use.
+        self._seed = np.ones_like(tape.loss.data) if backward_instrs \
+            else None
         self.n_forward = len(forward_instrs)
         self.n_backward = len(backward_instrs)
         self.n_specialized = build.n_specialized
@@ -1242,10 +1246,12 @@ class LoweredPlan:
         self.n_fused_ops = n_fused_ops
         self.scratch_nbytes = build.scratch_nbytes
 
-    def run_forward(self, histories, targets, masks) -> Tensor:
+    def run_forward(self, histories, targets=None, masks=None) -> Tensor:
         np.copyto(self.hist_buf, histories)
-        np.copyto(self.truth_buf, targets)
-        np.copyto(self.mask_buf, masks)
+        if targets is not None:
+            np.copyto(self.truth_buf, targets)
+        if masks is not None:
+            np.copyto(self.mask_buf, masks)
         profiler = _active_profiler()
         if profiler is None:
             for instr in self.forward_instrs:
@@ -1258,6 +1264,10 @@ class LoweredPlan:
         return self.loss
 
     def run_backward(self) -> None:
+        if self._seed is None:
+            raise RuntimeError(
+                "this plan was compiled forward_only; it has no backward "
+                "schedule")
         # Mirrors Tensor.backward's seed: a ones array accumulated into
         # the loss (borrowed, never mutated -> reusable across steps).
         self.loss._accumulate(self._seed)
@@ -1288,16 +1298,22 @@ class LoweredPlan:
 # ----------------------------------------------------------------------
 # the lowering pass
 # ----------------------------------------------------------------------
-def lower_tape(tape) -> Optional[LoweredPlan]:
+def lower_tape(tape, forward_only: bool = False) -> Optional[LoweredPlan]:
     """Compile ``tape`` into a :class:`LoweredPlan`.
 
     Returns ``None`` (after emitting :class:`LoweringFallbackWarning`)
     when any entry cannot be lowered or run generically with confidence —
     the caller should keep using plain replay for this tape.
+
+    With ``forward_only=True`` (inference tapes, whose root is the
+    prediction rather than a scalar loss) no backward schedule is
+    compiled: the plan runs forward instructions only and
+    :meth:`LoweredPlan.run_backward` raises.
     """
     try:
         build = _compile_forward(tape)
-        backward_instrs = _compile_backward(tape, build)
+        backward_instrs = [] if forward_only \
+            else _compile_backward(tape, build)
     except LoweringUnsupported as exc:
         warnings.warn(
             f"tape lowering fell back to plain replay: {exc}",

@@ -52,8 +52,8 @@ from .lowering import LoweredPlan, LoweringFallbackWarning, lower_tape
 from .tensor import (Tensor, _active_profiler, _run_forward, _set_tape,
                      anomaly_enabled, get_default_dtype)
 
-__all__ = ["CaptureMismatchWarning", "LoweringFallbackWarning",
-           "ReplayEngine"]
+__all__ = ["CaptureMismatchWarning", "InferenceEngine",
+           "LoweringFallbackWarning", "ReplayEngine"]
 
 
 class CaptureMismatchWarning(RuntimeWarning):
@@ -323,3 +323,152 @@ class ReplayEngine:
         if self.lower:
             stats.update(self.plan_stats())
         return stats
+
+
+class InferenceEngine:
+    """Capture-once, replay-many executor for *inference* forwards.
+
+    The serving hot path (``repro.serve``) runs the same model forward
+    for every request of a given (batch shape, horizon, dtype)
+    signature.  This engine applies the tape machinery to that path with
+    the training-only weight dropped: tapes are captured with the model
+    in eval mode and **no loss or backward schedule attached** — the
+    arena holds only the prediction subgraph (no truth/mask buffers, no
+    regularizer terms), warm steps re-execute just the prediction
+    thunks, and with ``lower=True`` each tape compiles into a
+    forward-only :class:`~repro.autodiff.lowering.LoweredPlan`.
+
+    Same fallback rules as :class:`ReplayEngine`: declines under
+    anomaly mode, disables itself permanently on a capture mismatch
+    (still returning the eagerly-computed prediction), and recaptures on
+    signature change with LRU tape eviction.
+
+    :meth:`predict` always returns a fresh ndarray copy — the arena
+    buffers it reads from are overwritten by the next request.
+    """
+
+    def __init__(self, model, max_tapes: int = 4, lower: bool = False):
+        self.model = model
+        self.max_tapes = int(max_tapes)
+        self.lower = bool(lower)
+        self.enabled = True
+        self.captures = 0
+        self.replays = 0
+        self.eager_steps = 0
+        self.lowered_steps = 0
+        self.plan_fallbacks = 0
+        self._tapes: "OrderedDict[Tuple, _Tape]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def _signature(self, histories, horizon: int) -> Tuple:
+        return (np.shape(histories), int(horizon),
+                np.dtype(get_default_dtype()).name, _ops.fused_enabled())
+
+    def _forward(self, histories, horizon: int) -> Tensor:
+        prediction, _, _ = self.model(histories, horizon)
+        return prediction
+
+    # ------------------------------------------------------------------
+    def predict(self, histories, horizon: int) -> np.ndarray:
+        """One inference forward: ``(B, h, N, N', K)`` prediction array.
+
+        The model is forced into eval mode for the call (and restored
+        afterwards) so a capture is never polluted by dropout draws.
+        """
+        was_training = bool(self.model.training)
+        if was_training:
+            self.model.eval()
+        try:
+            return self._predict(histories, horizon)
+        finally:
+            if was_training:
+                self.model.train()
+
+    def _predict(self, histories, horizon: int) -> np.ndarray:
+        if not self.enabled or anomaly_enabled():
+            self.eager_steps += 1
+            return np.array(self._forward(histories, horizon).data,
+                            copy=True)
+        signature = self._signature(histories, horizon)
+        tape = self._tapes.get(signature)
+        if tape is None:
+            return self._capture(signature, histories, horizon)
+        self._tapes.move_to_end(signature)
+        if self.lower:
+            plan = tape.plan
+            if plan is None:
+                plan = lower_tape(tape, forward_only=True)
+                tape.plan = plan if plan is not None else False
+                if plan is None:
+                    self.plan_fallbacks += 1
+            if plan:
+                out = plan.run_forward(histories)
+                self.lowered_steps += 1
+                return np.array(out.data, copy=True)
+        np.copyto(tape.hist_buf, histories)
+        if _active_profiler() is None:
+            for out, run, _ in tape.entries:
+                out.data = np.asarray(run(), dtype=out.data.dtype)
+        else:
+            for out, run, _ in tape.entries:
+                out.data = np.asarray(_run_forward(run),
+                                      dtype=out.data.dtype)
+        self.replays += 1
+        return np.array(tape.loss.data, copy=True)
+
+    # ------------------------------------------------------------------
+    def _capture(self, signature, histories, horizon: int) -> np.ndarray:
+        dtype = get_default_dtype()
+        tape = _Tape(signature)
+        tape.hist_buf = np.array(histories, dtype=dtype)
+        # No targets at inference time; keep the slots as empty arrays so
+        # arena accounting stays uniform with training tapes.
+        tape.truth_buf = np.empty(0, dtype=dtype)
+        tape.mask_buf = np.empty(0, dtype=dtype)
+        previous = _set_tape(tape)
+        try:
+            prediction = self._forward(tape.hist_buf, horizon)
+        finally:
+            _set_tape(previous)
+        if tape.made != len(tape.entries):
+            self.enabled = False
+            self._tapes.clear()
+            self.eager_steps += 1
+            warnings.warn(
+                f"capture incomplete: {tape.made} tensors created but "
+                f"{len(tape.entries)} ops recorded; an op is bypassing "
+                "the run()-thunk protocol — serving falls back to eager "
+                "forwards", CaptureMismatchWarning)
+            return np.array(prediction.data, copy=True)
+        # The tape root is the prediction itself: there is no loss at
+        # inference time, and forward-only lowering never touches the
+        # root beyond adopting its buffer.
+        tape.loss = prediction
+        if len(self._tapes) >= self.max_tapes:
+            self._tapes.popitem(last=False)
+        self._tapes[signature] = tape
+        self.captures += 1
+        return np.array(prediction.data, copy=True)
+
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every tape (call after hot-reloading the model weights).
+
+        Thunks re-read parameter arrays in place, so tapes usually
+        survive a ``load_state_dict`` — but serving correctness must not
+        ride on that: a reloaded model pays one re-capture instead.
+        """
+        self._tapes.clear()
+
+    def arena_nbytes(self) -> int:
+        return sum(t.arena_nbytes() for t in self._tapes.values())
+
+    def stats(self) -> Dict[str, float]:
+        """Counters for telemetry: how inference actually executed."""
+        return {"captures": self.captures, "replays": self.replays,
+                "eager_steps": self.eager_steps,
+                "lowered_steps": self.lowered_steps,
+                "plan_fallbacks": self.plan_fallbacks,
+                "tapes": len(self._tapes),
+                "arena_nbytes": self.arena_nbytes(),
+                "enabled": self.enabled}

@@ -9,6 +9,10 @@ Commands
     Print Figure 7 style sparseness statistics for a city dataset.
 ``generate``
     Generate a city dataset and save its OD tensor sequence as ``.npz``.
+``serve``
+    Fit a quick model, register its checkpoint in a forecast service,
+    and replay a stream of "forecast now" requests, printing
+    forecasts/sec and latency percentiles (see docs/SERVING.md).
 ``info``
     Print library version and subsystem summary.
 
@@ -162,6 +166,104 @@ def cmd_headroom(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    _apply_contracts(args)
+    import tempfile
+    import time
+    from pathlib import Path
+
+    from .experiments import MethodBudget, make_bf, prepare
+    from .forecast import tail_slice
+    from .persistence import save_checkpoint
+    from .serve import (ForecastRequest, ForecastService,
+                        ForecastWorkerPool, ModelKey, ServeConfig)
+
+    dataset = _build_dataset(args)
+    data = prepare(dataset, s=args.s, h=args.h)
+    budget = MethodBudget(epochs=args.epochs, batch_size=args.batch_size,
+                          max_train_batches=args.max_batches)
+    forecaster = make_bf(data, budget)
+    print(f"fitting bf on {args.city} "
+          f"({len(data.windows)} windows, {args.epochs} epochs)...")
+    forecaster.fit(data.windows, data.split, horizon=args.h)
+    checkpoint_dir = Path(args.checkpoint_dir
+                          or tempfile.mkdtemp(prefix="repro-serve-"))
+    path = checkpoint_dir / f"bf-{args.city}.npz"
+    save_checkpoint(path, forecaster.model, epoch=args.epochs - 1)
+    print(f"checkpoint: {path}")
+
+    telemetry = None
+    if args.telemetry:
+        from .telemetry import TelemetryLogger
+        telemetry = TelemetryLogger(args.telemetry,
+                                    run_id=f"serve-{args.city}")
+    key = ModelKey(args.city, "demo")
+    config = ServeConfig(engine=args.engine)
+
+    def builder():
+        return make_bf(data, budget).model
+
+    def factory():
+        service = ForecastService(config, telemetry=telemetry)
+        service.register(key, path, builder)
+        return service
+
+    # Cycle a few distinct "nows" so the stream mixes cache hits with
+    # warm-tape forwards, like a live feed where most queries repeat the
+    # current interval.
+    t = data.sequence.n_intervals
+    tails = [data.sequence.slice(0, t - i) for i in range(4)]
+    pool = None
+    service = None
+    if args.workers > 0:
+        pool = ForecastWorkerPool(factory, n_workers=args.workers,
+                                  request_timeout=args.request_timeout,
+                                  telemetry=telemetry)
+        run = lambda req: pool.forecast(req)          # noqa: E731
+    else:
+        service = factory()
+        run = lambda req: service.forecast_one(req)   # noqa: E731
+    latencies = []
+    hits = 0
+    try:
+        for i in range(args.requests):
+            sequence = tails[i % len(tails)]
+            request = ForecastRequest(key, tail_slice(sequence, args.s),
+                                      args.s, args.h)
+            start = time.perf_counter()
+            response = run(request)
+            latencies.append(time.perf_counter() - start)
+            if not response.ok:
+                print(f"request {i} failed: {response.error}",
+                      file=sys.stderr)
+                return 1
+            hits += response.cache == "hit"
+        total = sum(latencies)
+        ms = sorted(1e3 * x for x in latencies)
+        pct = lambda q: ms[min(len(ms) - 1,                # noqa: E731
+                               int(q * len(ms)))]
+        print(f"{args.requests} forecasts in {total:.2f}s = "
+              f"{args.requests / total:,.0f}/s  "
+              f"(p50 {pct(0.50):.2f}ms, p99 {pct(0.99):.2f}ms, "
+              f"{hits}/{args.requests} cache hits)")
+        if pool is not None:
+            print(f"pool: {pool.stats()}")
+        else:
+            stats = service.stats()
+            print(f"cache: {stats['cache']}  registry: "
+                  f"{stats['registry']}")
+            for name, engine_stats in stats["engines"].items():
+                print(f"engine[{name}]: {engine_stats}")
+    finally:
+        if pool is not None:
+            pool.close()
+        if service is not None:
+            service.close()
+        if telemetry is not None:
+            telemetry.close()
+    return 0
+
+
 def cmd_info(args) -> int:
     import repro
     print(f"repro {repro.__version__} — stochastic OD matrix forecasting "
@@ -227,6 +329,33 @@ def build_parser() -> argparse.ArgumentParser:
         "headroom", help="oracle forecastability diagnostic (DESIGN §7)")
     _add_common(headroom)
     headroom.set_defaults(fn=cmd_headroom)
+
+    serve = sub.add_parser(
+        "serve", help="serve forecasts from a registry of checkpoints")
+    _add_common(serve)
+    serve.add_argument("--s", type=int, default=6)
+    serve.add_argument("--h", type=int, default=3)
+    serve.add_argument("--epochs", type=int, default=2)
+    serve.add_argument("--batch-size", type=int, default=16)
+    serve.add_argument("--max-batches", type=int, default=8)
+    serve.add_argument("--requests", type=int, default=50,
+                       help="number of forecast-now requests to replay")
+    serve.add_argument("--engine", default="replay",
+                       choices=("eager", "replay", "lowered"),
+                       help="inference executor for loaded models "
+                            "(forward-only tapes; see docs/SERVING.md)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="serve through this many fork-isolated "
+                            "worker processes (0 = in-process)")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       help="per-request worker timeout in seconds")
+    serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="where to write the demo checkpoint "
+                            "(default: a temp dir)")
+    serve.add_argument("--telemetry", default=None, metavar="FILE",
+                       help="append JSONL serve events to FILE "
+                            "(see docs/SERVING.md)")
+    serve.set_defaults(fn=cmd_serve)
 
     info = sub.add_parser("info", help="version and subsystem summary")
     info.set_defaults(fn=cmd_info)

@@ -6,11 +6,21 @@ what are the next ``h`` OD tensors?*  :func:`forecast_latest` adapts a
 fitted :class:`~repro.baselines.Forecaster` to that call by windowing
 the tail of a tensor sequence (padding unknown future intervals with
 empty tensors, which every forecaster ignores at prediction time).
+
+The serving path is tail-local: only the last ``s`` observed intervals
+are copied, validated, and padded, so one forecast costs O(s + h)
+regardless of how long the history has grown.  Absolute interval
+indices survive the slicing through ``WindowDataset.offset``, so
+slot-conditioned forecasters (e.g. the MR baseline, which keys on
+``interval % slots_per_day``) predict bit-identically from the tail and
+from the full history.  :func:`latest_history` exposes just the
+validated model input for callers that run the forward themselves (the
+``repro.serve`` registry/cache/batching layer).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -18,6 +28,77 @@ from .baselines.base import Forecaster
 from .contracts import (ContractPolicy, check_finite, validate_sequence)
 from .histograms.tensor_builder import ODTensorSequence
 from .histograms.windows import WindowDataset
+
+
+def tail_slice(sequence: ODTensorSequence, s: int) -> ODTensorSequence:
+    """View of the last ``s`` intervals (the whole sequence if shorter)."""
+    t = sequence.n_intervals
+    if t <= s:
+        return sequence
+    return sequence.slice(t - s, t)
+
+
+def latest_history(sequence: ODTensorSequence, s: int,
+                   policy: Optional[ContractPolicy] = None) -> np.ndarray:
+    """The validated model input of a "forecast now" query.
+
+    Runs the full data contract over the last ``s`` intervals — the only
+    part of the history an operational model reads — and returns them,
+    shape ``(s, N, N', K)``.  This is the serving fast path: O(s) work
+    and no padding, for callers that invoke the model forward directly.
+    """
+    if sequence.n_intervals < s:
+        raise ValueError(
+            f"need at least s={s} observed intervals, have "
+            f"{sequence.n_intervals}")
+    tail = tail_slice(sequence, s)
+    validate_sequence(tail, "forecast_latest", policy)
+    return tail.tensors
+
+
+def latest_window(sequence: ODTensorSequence, s: int, horizon: int,
+                  policy: Optional[ContractPolicy] = None
+                  ) -> Tuple[WindowDataset, int]:
+    """Window the tail of a sequence for a "forecast now" query.
+
+    Returns a :class:`WindowDataset` whose final (and only) sample's
+    history is the last ``s`` observed intervals, plus that sample's
+    index.  The ``horizon`` future intervals are zero-padded (every
+    forecaster ignores targets at prediction time) with dtypes matching
+    the sequence — a float32 pipeline stays float32 end to end.  Only
+    the tail is validated and copied, and ``WindowDataset.offset``
+    carries the absolute interval indices across the slice, so
+    time-of-day conditioned forecasters see exactly the indices the
+    full-history path would have given them.
+    """
+    if sequence.n_intervals < s:
+        raise ValueError(
+            f"need at least s={s} observed intervals, have "
+            f"{sequence.n_intervals}")
+    t = sequence.n_intervals
+    tail = tail_slice(sequence, s)
+    offset = t - tail.n_intervals
+    # This is the last gate before an operational model sees live data:
+    # run the full data contract, but only over the tail that the model
+    # will actually read.
+    validate_sequence(tail, "forecast_latest", policy)
+    _, n, n_prime, k = tail.tensors.shape
+    pad_shape = (horizon, n, n_prime, k)
+    padded = ODTensorSequence(
+        tensors=np.concatenate([
+            tail.tensors,
+            np.zeros(pad_shape, dtype=tail.tensors.dtype)]),
+        mask=np.concatenate([
+            tail.mask,
+            np.zeros(pad_shape[:3], dtype=bool)]),
+        counts=np.concatenate([
+            tail.counts,
+            np.zeros(pad_shape[:3], dtype=tail.counts.dtype)]),
+        spec=tail.spec,
+        interval_minutes=tail.interval_minutes,
+        _validated=True)    # validated above; padding is trivially clean
+    windows = WindowDataset(padded, s=s, h=horizon, offset=offset)
+    return windows, len(windows) - 1   # history = final s real intervals
 
 
 def forecast_latest(forecaster: Forecaster, sequence: ODTensorSequence,
@@ -37,7 +118,7 @@ def forecast_latest(forecaster: Forecaster, sequence: ODTensorSequence,
         History length and number of future intervals.
     policy:
         Contract policy for the facade boundary (default: the
-        process-wide one).  The incoming sequence runs the full data
+        process-wide one).  The incoming tail runs the full data
         contract — this is the last gate before an operational model
         sees live data — and the outgoing prediction is checked finite,
         so a silently diverged model cannot serve NaN forecasts.
@@ -46,25 +127,7 @@ def forecast_latest(forecaster: Forecaster, sequence: ODTensorSequence,
     -------
     ``(horizon, N, N', K)`` full OD stochastic speed tensors.
     """
-    if sequence.n_intervals < s:
-        raise ValueError(
-            f"need at least s={s} observed intervals, have "
-            f"{sequence.n_intervals}")
-    validate_sequence(sequence, "forecast_latest", policy)
-    t, n, n_prime, k = sequence.tensors.shape
-    pad_shape = (horizon, n, n_prime, k)
-    padded = ODTensorSequence(
-        tensors=np.concatenate([sequence.tensors,
-                                np.zeros(pad_shape)]),
-        mask=np.concatenate([sequence.mask,
-                             np.zeros(pad_shape[:3], dtype=bool)]),
-        counts=np.concatenate([sequence.counts,
-                               np.zeros(pad_shape[:3])]),
-        spec=sequence.spec,
-        interval_minutes=sequence.interval_minutes,
-        _validated=True)    # validated above; padding is trivially clean
-    windows = WindowDataset(padded, s=s, h=horizon)
-    last = len(windows) - 1   # history = final s real intervals
+    windows, last = latest_window(sequence, s, horizon, policy)
     prediction = forecaster.predict(windows, np.array([last]), horizon)
     check_finite(prediction[0], "prediction", "forecast_latest", policy)
     return prediction[0]

@@ -22,11 +22,18 @@ class WindowDataset:
 
     Sample ``i`` uses intervals ``[i, i+s)`` as history and
     ``[i+s, i+s+h)`` as the forecast target.
+
+    ``offset`` is the absolute interval index of the sequence's first
+    element.  It matters only when the sequence is a tail slice of a
+    longer history (the serving path): slot-conditioned forecasters key
+    on :meth:`target_intervals` modulo slots-per-day, so the absolute
+    indices must survive the slicing.
     """
 
     sequence: ODTensorSequence
     s: int
     h: int
+    offset: int = 0
 
     def __post_init__(self):
         if self.s < 1 or self.h < 1:
@@ -57,7 +64,7 @@ class WindowDataset:
 
     def target_intervals(self, i: int) -> np.ndarray:
         """Absolute interval indices of the targets (for time-of-day)."""
-        return np.arange(i + self.s, i + self.s + self.h)
+        return np.arange(i + self.s, i + self.s + self.h) + self.offset
 
     # ------------------------------------------------------------------
     def gather(self, indices) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -1,0 +1,849 @@
+"""Long-running forecast serving: registry, cache, batching, workers.
+
+The experiment harness answers "how good is the model?"; this module
+answers production's question — *given everything observed up to now,
+what are the next ``h`` OD tensors, for this city, right now?* — over
+and over, from one process, for many deployments at once.  It stacks
+four layers on top of the :mod:`repro.forecast` facade:
+
+1. :class:`ModelRegistry` — one SHA-256-verified checkpoint per
+   ``(city, scenario)`` :class:`ModelKey`, loaded lazily through
+   :func:`repro.persistence.load_checkpoint`, LRU-evicted beyond
+   ``max_models``, and hot-reloaded when the checkpoint file changes on
+   disk.  A checkpoint that fails its checksum is *never* served: the
+   stale instance is dropped, a ``model_error`` event is emitted, and
+   the request degrades (see below).
+2. An inference-only fast path — each loaded model is wrapped in a
+   forward-only :class:`repro.autodiff.InferenceEngine` (tapes captured
+   in eval mode with no loss or backward schedule) so warm requests
+   skip graph construction entirely.
+3. :class:`ForecastService` — per-request contract validation, an LRU
+   :class:`ResponseCache` keyed on (model key, window signature,
+   horizon), micro-batching of concurrent same-model queries
+   (:meth:`ForecastService.submit` coalesces submissions within
+   ``batch_window`` seconds into one batched forward, split back per
+   caller), and per-request JSONL telemetry.
+4. :class:`ForecastWorkerPool` — fork-isolated serving processes (the
+   fault-isolation pattern of ``experiments.runner``): a request that
+   hangs or kills its worker is timed out, the worker respawned, the
+   request retried, and — when retries are exhausted — answered from
+   the parent's stale-response mirror, flagged ``degraded``.
+
+Degradation ladder (per request): fresh cache hit -> healthy forward ->
+retry on a respawned worker -> stale cached answer (``degraded=True``,
+``cache="stale"``) -> :class:`ModelUnavailableError`.
+
+See ``docs/SERVING.md`` for the operational guide and the telemetry
+event schema (``model_load/model_reload/model_evict/model_error/
+serve_request/worker_spawn/worker_death``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import queue
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .autodiff.module import Module
+from .autodiff.replay import InferenceEngine
+from .contracts import ContractPolicy, ContractViolation, check_finite
+from .forecast import latest_history, tail_slice
+from .histograms.tensor_builder import ODTensorSequence
+from .persistence import load_checkpoint
+from .telemetry import TelemetrySink, emit
+
+__all__ = [
+    "ForecastRequest",
+    "ForecastResponse",
+    "ForecastService",
+    "ForecastWorkerPool",
+    "LoadedModel",
+    "ModelKey",
+    "ModelRegistry",
+    "ModelUnavailableError",
+    "ResponseCache",
+    "ServeConfig",
+    "window_signature",
+]
+
+#: Engine names a loaded model can execute with ("eager" bypasses the
+#: inference tapes entirely; "replay"/"lowered" wrap the model in an
+#: :class:`InferenceEngine`).
+SERVE_ENGINES = ("eager", "replay", "lowered")
+
+
+@dataclass(frozen=True)
+class ModelKey:
+    """One deployment: a city plus a scenario label (e.g. ``weekday``)."""
+
+    city: str
+    scenario: str = "default"
+
+    def __str__(self) -> str:
+        return f"{self.city}/{self.scenario}"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Operational knobs for the service (all layers share one config)."""
+
+    #: Execution engine for loaded models (see :data:`SERVE_ENGINES`).
+    engine: str = "replay"
+    #: Loaded models kept in memory; least-recently-served is evicted.
+    max_models: int = 8
+    #: Response-cache entries; 0 disables the cache.
+    cache_size: int = 256
+    #: Seconds :meth:`ForecastService.submit` waits to coalesce
+    #: concurrent requests into one batched forward.
+    batch_window: float = 0.002
+    #: Hard ceiling on coalesced batch size.
+    max_batch: int = 32
+    #: Per-request worker timeout (seconds); None waits forever.
+    request_timeout: Optional[float] = 30.0
+    #: Worker attempts per request beyond the first (respawn + retry).
+    retries: int = 1
+    #: Degrade to the last known answer instead of failing outright.
+    stale_ok: bool = True
+
+    def __post_init__(self):
+        if self.engine not in SERVE_ENGINES:
+            raise ValueError(
+                f"engine must be one of {SERVE_ENGINES}, got "
+                f"{self.engine!r}")
+        if self.max_models < 1:
+            raise ValueError("max_models must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+
+
+class ModelUnavailableError(RuntimeError):
+    """No healthy model instance can answer for this key right now."""
+
+    def __init__(self, key: ModelKey, reason: str):
+        super().__init__(f"model {key}: {reason}")
+        self.key = key
+        self.reason = reason
+
+
+def window_signature(history: np.ndarray) -> str:
+    """Content hash of one model input window (cache identity).
+
+    Covers dtype, shape, and raw bytes, so two requests share a cache
+    entry iff the model would see bit-identical input.
+    """
+    arr = np.ascontiguousarray(history)
+    digest = hashlib.sha256()
+    digest.update(str(arr.dtype).encode())
+    digest.update(str(arr.shape).encode())
+    digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+@dataclass
+class LoadedModel:
+    """One live model instance: module + engine + file fingerprint."""
+
+    key: ModelKey
+    model: Module
+    engine: Optional[InferenceEngine]
+    epoch: int
+    fingerprint: Tuple[int, int, int]
+
+    def predict(self, histories: np.ndarray, horizon: int) -> np.ndarray:
+        """``(B, h, N, N', K)`` prediction for a batch of histories."""
+        if self.engine is not None:
+            return self.engine.predict(histories, horizon)
+        was_training = bool(self.model.training)
+        if was_training:
+            self.model.eval()
+        try:
+            prediction, _, _ = self.model(histories, horizon)
+        finally:
+            if was_training:
+                self.model.train()
+        return prediction.numpy()
+
+
+class ModelRegistry:
+    """Lazily loads and hot-reloads checksummed checkpoints per key.
+
+    ``register`` records where a deployment's checkpoint lives and how
+    to rebuild its (untrained) architecture; nothing is read until the
+    first ``get``.  Every ``get`` re-stats the file: a changed
+    fingerprint (mtime/size/inode — atomic ``save_checkpoint`` replaces
+    the inode) triggers a reload, and the previous instance is dropped
+    *before* the reload is attempted so a corrupt rewrite can never
+    leave a stale model serving under a fresh file.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 telemetry: TelemetrySink = None):
+        self.config = config or ServeConfig()
+        self.telemetry = telemetry
+        self._registered: Dict[ModelKey, Tuple[Path, Callable[[], Module]]]\
+            = {}
+        self._loaded: "OrderedDict[ModelKey, LoadedModel]" = OrderedDict()
+        self.loads = 0
+        self.reloads = 0
+        self.evictions = 0
+        self.errors = 0
+
+    def register(self, key: ModelKey, checkpoint_path,
+                 builder: Callable[[], Module]) -> None:
+        """Announce a deployment.  Re-registering a key drops any loaded
+        instance (the next request reloads from the new path)."""
+        self._registered[key] = (Path(checkpoint_path), builder)
+        self._loaded.pop(key, None)
+
+    def keys(self) -> List[ModelKey]:
+        return list(self._registered)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fingerprint(path: Path) -> Tuple[int, int, int]:
+        stat = path.stat()
+        return (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+
+    def get(self, key: ModelKey) -> LoadedModel:
+        """The live instance for ``key`` (loading/reloading as needed).
+
+        Raises :class:`ModelUnavailableError` when the key is unknown or
+        its checkpoint is missing/corrupt — a failed checksum is
+        reported (``model_error``) and *not* served.
+        """
+        entry = self._registered.get(key)
+        if entry is None:
+            raise ModelUnavailableError(key, "not registered")
+        path, builder = entry
+        try:
+            fingerprint = self._fingerprint(path)
+        except OSError as exc:
+            self._loaded.pop(key, None)
+            self.errors += 1
+            emit(self.telemetry, "model_error", key=str(key),
+                 path=str(path), error=f"{type(exc).__name__}: {exc}")
+            raise ModelUnavailableError(
+                key, f"checkpoint unreadable: {exc}") from exc
+        loaded = self._loaded.get(key)
+        if loaded is not None and loaded.fingerprint == fingerprint:
+            self._loaded.move_to_end(key)
+            return loaded
+        reload = loaded is not None
+        # Drop first: between here and a successful load there is no
+        # instance, so a corrupt rewrite can never serve stale weights.
+        self._loaded.pop(key, None)
+        loaded = self._load(key, path, builder, fingerprint, reload)
+        self._loaded[key] = loaded
+        while len(self._loaded) > self.config.max_models:
+            evicted, _ = self._loaded.popitem(last=False)
+            self.evictions += 1
+            emit(self.telemetry, "model_evict", key=str(evicted))
+        return loaded
+
+    def _load(self, key: ModelKey, path: Path, builder, fingerprint,
+              reload: bool) -> LoadedModel:
+        start = time.perf_counter()
+        try:
+            model = builder()
+            checkpoint = load_checkpoint(path)    # SHA-256 verified
+            state = checkpoint.best_state or checkpoint.model_state
+            model.load_state_dict(state)
+        except Exception as exc:   # CheckpointCorruptError, bad state, ...
+            self.errors += 1
+            emit(self.telemetry, "model_error", key=str(key),
+                 path=str(path), error=f"{type(exc).__name__}: {exc}")
+            raise ModelUnavailableError(
+                key, f"checkpoint rejected: {exc}") from exc
+        model.eval()
+        engine = None
+        if self.config.engine != "eager":
+            engine = InferenceEngine(
+                model, lower=(self.config.engine == "lowered"))
+        self.loads += 1
+        self.reloads += int(reload)
+        emit(self.telemetry, "model_reload" if reload else "model_load",
+             key=str(key), path=str(path), epoch=checkpoint.epoch,
+             seconds=time.perf_counter() - start)
+        return LoadedModel(key=key, model=model, engine=engine,
+                           epoch=checkpoint.epoch, fingerprint=fingerprint)
+
+    def stats(self) -> Dict[str, int]:
+        return {"registered": len(self._registered),
+                "loaded": len(self._loaded), "loads": self.loads,
+                "reloads": self.reloads, "evictions": self.evictions,
+                "errors": self.errors}
+
+
+# ----------------------------------------------------------------------
+# response cache
+# ----------------------------------------------------------------------
+class ResponseCache:
+    """LRU of served predictions, keyed (model key, signature, horizon).
+
+    Stores and returns *copies*: a cached answer must stay bit-identical
+    to the forward that produced it even if a caller mutates what it was
+    handed.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> Optional[np.ndarray]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.copy()
+
+    def put(self, key: tuple, prediction: np.ndarray) -> None:
+        if self.max_entries <= 0:
+            return
+        self._entries[key] = np.array(prediction, copy=True)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def invalidate_model(self, model_key: ModelKey) -> int:
+        """Drop every entry served by ``model_key`` (hot-reload)."""
+        stale = [k for k in self._entries if k[0] == model_key]
+        for k in stale:
+            del self._entries[k]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits,
+                "misses": self.misses}
+
+
+# ----------------------------------------------------------------------
+# requests / responses
+# ----------------------------------------------------------------------
+@dataclass
+class ForecastRequest:
+    """One "forecast now" query against a registered deployment."""
+
+    key: ModelKey
+    sequence: ODTensorSequence
+    s: int
+    horizon: int
+
+    def tail(self) -> "ForecastRequest":
+        """Same query over only the last ``s`` intervals — what a
+        parent ships to a worker process (O(s) payload)."""
+        return replace(self, sequence=tail_slice(self.sequence, self.s))
+
+
+@dataclass
+class ForecastResponse:
+    """The answer plus how it was produced (for telemetry and SLAs)."""
+
+    key: ModelKey
+    horizon: int
+    prediction: Optional[np.ndarray]
+    cache: str = "miss"            # "hit" | "miss" | "stale"
+    seconds: float = 0.0
+    batch: int = 1                 # coalesced batch size for this forward
+    degraded: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class _Pending:
+    """A submitted request waiting for the micro-batcher."""
+
+    __slots__ = ("request", "event", "response")
+
+    def __init__(self, request: ForecastRequest):
+        self.request = request
+        self.event = threading.Event()
+        self.response: Optional[ForecastResponse] = None
+
+
+# ----------------------------------------------------------------------
+# the service
+# ----------------------------------------------------------------------
+class ForecastService:
+    """Registry + cache + micro-batching behind one ``forecast`` call.
+
+    Thread-safe: concurrent callers (and the micro-batch thread) are
+    serialized around the registry/cache; the win from batching is one
+    model forward for many requests, not parallel forwards.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 registry: Optional[ModelRegistry] = None,
+                 telemetry: TelemetrySink = None,
+                 policy: Optional[ContractPolicy] = None):
+        self.config = config or ServeConfig()
+        self.telemetry = telemetry
+        self.policy = policy
+        self.registry = registry or ModelRegistry(self.config, telemetry)
+        self.cache = ResponseCache(self.config.cache_size)
+        self.requests = 0
+        self._versions: Dict[ModelKey, tuple] = {}
+        self._last: Dict[Tuple[ModelKey, int], np.ndarray] = {}
+        self._lock = threading.RLock()
+        self._batcher: Optional[_MicroBatcher] = None
+
+    # ------------------------------------------------------------------
+    def register(self, key: ModelKey, checkpoint_path,
+                 builder: Callable[[], Module]) -> None:
+        self.registry.register(key, checkpoint_path, builder)
+
+    def forecast(self, key: ModelKey, sequence: ODTensorSequence, s: int,
+                 horizon: int) -> np.ndarray:
+        """``(horizon, N, N', K)`` forecast; raises on failure."""
+        response = self.forecast_one(
+            ForecastRequest(key, sequence, s, horizon))
+        if not response.ok:
+            raise ModelUnavailableError(key, response.error)
+        return response.prediction
+
+    def forecast_one(self, request: ForecastRequest) -> ForecastResponse:
+        """One request -> one response (errors reported, not raised)."""
+        return self.forecast_many([request])[0]
+
+    def forecast_many(self, requests: List[ForecastRequest]
+                      ) -> List[ForecastResponse]:
+        """Serve a batch: same-model misses coalesce into one forward.
+
+        Requests are grouped by (key, s, horizon, input shape/dtype);
+        within a group, cache hits are answered immediately and the
+        remaining histories are stacked into a single batched forward
+        and split back per caller.  Response order matches request
+        order.
+        """
+        with self._lock:
+            return self._forecast_many(requests)
+
+    def _forecast_many(self, requests: List[ForecastRequest]
+                       ) -> List[ForecastResponse]:
+        responses: List[Optional[ForecastResponse]] = [None] * len(requests)
+        groups: Dict[tuple, List[tuple]] = {}
+        for i, request in enumerate(requests):
+            self.requests += 1
+            start = time.perf_counter()
+            try:
+                history = latest_history(request.sequence, request.s,
+                                         self.policy)[None]
+            except (ValueError, ContractViolation) as exc:
+                responses[i] = self._done(request, ForecastResponse(
+                    request.key, request.horizon, None,
+                    seconds=time.perf_counter() - start,
+                    error=f"{type(exc).__name__}: {exc}"))
+                continue
+            group = (request.key, request.s, request.horizon,
+                     history.shape, history.dtype.str)
+            groups.setdefault(group, []).append((i, start, history))
+        for (key, s, horizon, _, _), members in groups.items():
+            self._serve_group(key, s, horizon, members, requests,
+                              responses)
+        return responses
+
+    def _serve_group(self, key: ModelKey, s: int, horizon: int,
+                     members, requests, responses) -> None:
+        try:
+            loaded = self.registry.get(key)
+        except ModelUnavailableError as exc:
+            for i, start, history in members:
+                responses[i] = self._degrade(
+                    requests[i], window_signature(history), start,
+                    str(exc))
+            return
+        # A hot-reload changed the weights: answers cached from the
+        # previous instance must never be served again.
+        if self._versions.get(key) != loaded.fingerprint:
+            self.cache.invalidate_model(key)
+            self._versions[key] = loaded.fingerprint
+        misses: List[tuple] = []
+        for i, start, history in members:
+            signature = window_signature(history)
+            cached = self.cache.get((key, signature, horizon))
+            if cached is not None:
+                responses[i] = self._done(requests[i], ForecastResponse(
+                    key, horizon, cached, cache="hit",
+                    seconds=time.perf_counter() - start))
+            else:
+                misses.append((i, start, history, signature))
+        for chunk_start in range(0, len(misses), self.config.max_batch):
+            chunk = misses[chunk_start:chunk_start + self.config.max_batch]
+            self._forward_chunk(loaded, key, horizon, chunk, requests,
+                                responses)
+
+    def _forward_chunk(self, loaded: LoadedModel, key: ModelKey,
+                       horizon: int, chunk, requests, responses) -> None:
+        histories = np.concatenate([history for _, _, history, _ in chunk])
+        try:
+            batch = loaded.predict(histories, horizon)
+            for row, (i, _, _, _) in enumerate(chunk):
+                check_finite(batch[row], "prediction", "serve",
+                             self.policy)
+        except Exception as exc:    # noqa: BLE001 - degrade, don't die
+            for i, start, history, signature in chunk:
+                responses[i] = self._degrade(
+                    requests[i], signature, start,
+                    f"{type(exc).__name__}: {exc}")
+            return
+        for row, (i, start, history, signature) in enumerate(chunk):
+            prediction = np.array(batch[row], copy=True)
+            self.cache.put((key, signature, horizon), prediction)
+            self._last[(key, horizon)] = prediction
+            responses[i] = self._done(requests[i], ForecastResponse(
+                key, horizon, prediction, cache="miss",
+                seconds=time.perf_counter() - start, batch=len(chunk)))
+
+    def _degrade(self, request: ForecastRequest, signature: str,
+                 start: float, error: str) -> ForecastResponse:
+        """Last rung before failing: a stale answer, clearly flagged."""
+        if self.config.stale_ok:
+            stale = self.cache.get(
+                (request.key, signature, request.horizon))
+            if stale is None:
+                last = self._last.get((request.key, request.horizon))
+                stale = None if last is None else last.copy()
+            if stale is not None:
+                return self._done(request, ForecastResponse(
+                    request.key, request.horizon, stale, cache="stale",
+                    seconds=time.perf_counter() - start, degraded=True))
+        return self._done(request, ForecastResponse(
+            request.key, request.horizon, None,
+            seconds=time.perf_counter() - start, error=error))
+
+    def _done(self, request: ForecastRequest,
+              response: ForecastResponse) -> ForecastResponse:
+        emit(self.telemetry, "serve_request", key=str(request.key),
+             s=request.s, horizon=request.horizon, cache=response.cache,
+             seconds=response.seconds, batch=response.batch,
+             degraded=response.degraded, error=response.error)
+        return response
+
+    # ------------------------------------------------------------------
+    def submit(self, request: ForecastRequest) -> _Pending:
+        """Async entry: queue a request for micro-batched execution.
+
+        Concurrent submissions for the same model landing within
+        ``config.batch_window`` seconds run as one batched forward; the
+        returned handle resolves via :meth:`result`.
+        """
+        with self._lock:
+            if self._batcher is None:
+                self._batcher = _MicroBatcher(self)
+        return self._batcher.submit(request)
+
+    def result(self, pending: _Pending,
+               timeout: Optional[float] = None) -> ForecastResponse:
+        """Block until a submitted request is answered."""
+        if not pending.event.wait(timeout):
+            raise TimeoutError("forecast not ready within timeout")
+        return pending.response
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        engines: Dict[str, object] = {}
+        for key, loaded in self.registry._loaded.items():
+            if loaded.engine is not None:
+                engines[str(key)] = loaded.engine.stats()
+        return {"requests": self.requests, "cache": self.cache.stats(),
+                "registry": self.registry.stats(), "engines": engines}
+
+    def close(self) -> None:
+        with self._lock:
+            batcher, self._batcher = self._batcher, None
+        if batcher is not None:
+            batcher.close()
+
+
+class _MicroBatcher:
+    """Coalesces concurrent submissions into batched forwards.
+
+    One daemon thread drains the submission queue: the first request
+    opens a window of ``batch_window`` seconds; everything arriving
+    before it closes (up to ``max_batch``) is served by a single
+    :meth:`ForecastService.forecast_many` call.
+    """
+
+    def __init__(self, service: ForecastService):
+        self.service = service
+        self._queue: "queue.Queue[Optional[_Pending]]" = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve-batcher", daemon=True)
+        self._thread.start()
+
+    def submit(self, request: ForecastRequest) -> _Pending:
+        pending = _Pending(request)
+        self._queue.put(pending)
+        return pending
+
+    def close(self) -> None:
+        self._queue.put(None)
+        self._thread.join(timeout=5.0)
+
+    def _loop(self) -> None:
+        config = self.service.config
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            batch = [item]
+            deadline = time.monotonic() + config.batch_window
+            stop = False
+            while len(batch) < config.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is None:
+                    stop = True
+                    break
+                batch.append(nxt)
+            try:
+                responses = self.service.forecast_many(
+                    [p.request for p in batch])
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                responses = [ForecastResponse(
+                    p.request.key, p.request.horizon, None,
+                    error=f"{type(exc).__name__}: {exc}") for p in batch]
+            for pending, response in zip(batch, responses):
+                pending.response = response
+                pending.event.set()
+            if stop:
+                return
+
+
+# ----------------------------------------------------------------------
+# worker pool
+# ----------------------------------------------------------------------
+def _worker_loop(conn, service_factory) -> None:
+    """Body of one serving worker: recv request, serve, send response."""
+    service = service_factory()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        request_id, request = message
+        try:
+            response = service.forecast_one(request)
+        except Exception as exc:  # noqa: BLE001 - workers must not die
+            response = ForecastResponse(
+                request.key, request.horizon, None,
+                error=f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send((request_id, response))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class ForecastWorkerPool:
+    """Process-isolated serving: crashes and hangs cannot take the
+    parent down.
+
+    Reuses the fork-pool fault-isolation pattern of
+    ``experiments.runner``: each worker is a forked process owning a
+    full :class:`ForecastService` (built by ``service_factory``), fed
+    over a pipe.  Requests are dispatched round-robin with only the
+    last ``s`` intervals of the sequence shipped (O(s) payload).  A
+    request that
+    exceeds ``request_timeout`` or whose worker dies mid-flight gets the
+    worker terminated and respawned and the request retried; when
+    retries are exhausted the parent's stale-response mirror answers,
+    flagged ``degraded`` — the ladder's last rung before
+    :class:`ModelUnavailableError`.
+    """
+
+    def __init__(self, service_factory: Callable[[], ForecastService],
+                 n_workers: int = 2,
+                 request_timeout: Optional[float] = 30.0,
+                 retries: int = 1, stale_ok: bool = True,
+                 telemetry: TelemetrySink = None):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "ForecastWorkerPool needs the fork start method")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self._factory = service_factory
+        self._ctx = multiprocessing.get_context("fork")
+        self.request_timeout = request_timeout
+        self.retries = int(retries)
+        self.stale_ok = bool(stale_ok)
+        self.telemetry = telemetry
+        self.deaths = 0
+        self.timeouts = 0
+        self.degraded = 0
+        self._last: Dict[Tuple[ModelKey, int], np.ndarray] = {}
+        self._request_id = 0
+        self._next = 0
+        self._workers: List[Optional[tuple]] = [None] * n_workers
+        self._closed = False
+        for slot in range(n_workers):
+            self._spawn(slot)
+
+    # ------------------------------------------------------------------
+    def _spawn(self, slot: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_loop, args=(child_conn, self._factory),
+            name=f"repro-serve-worker-{slot}", daemon=True)
+        proc.start()
+        child_conn.close()
+        self._workers[slot] = (proc, parent_conn)
+        emit(self.telemetry, "worker_spawn", slot=slot, pid=proc.pid)
+
+    def _kill(self, slot: int, reason: str) -> None:
+        proc, conn = self._workers[slot]
+        self.deaths += 1
+        emit(self.telemetry, "worker_death", slot=slot, pid=proc.pid,
+             reason=reason)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1.0)
+        if proc.is_alive():     # wedged (or stopped): escalate to SIGKILL
+            proc.kill()
+            proc.join(timeout=5.0)
+        conn.close()
+        self._spawn(slot)
+
+    # ------------------------------------------------------------------
+    def forecast(self, request: ForecastRequest) -> ForecastResponse:
+        """Serve one request through the pool (degrading, not raising)."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        request = request.tail()    # bound the pipe payload to O(s)
+        last_error = "no workers available"
+        for _ in range(1 + self.retries):
+            slot = self._next
+            self._next = (self._next + 1) % len(self._workers)
+            proc, conn = self._workers[slot]
+            if not proc.is_alive():
+                self._kill(slot, "found dead")
+                proc, conn = self._workers[slot]
+            self._request_id += 1
+            request_id = self._request_id
+            try:
+                conn.send((request_id, request))
+            except (BrokenPipeError, OSError) as exc:
+                last_error = f"worker send failed: {exc}"
+                self._kill(slot, "send failed")
+                continue
+            response = self._await(slot, request_id)
+            if response is not None:
+                if response.ok and not response.degraded:
+                    self._last[(request.key, request.horizon)] = \
+                        response.prediction
+                if response.ok:
+                    return response
+                last_error = response.error
+            else:
+                last_error = (f"no answer within "
+                              f"{self.request_timeout}s or worker died")
+        return self._degrade(request, last_error)
+
+    def _await(self, slot: int, request_id: int
+               ) -> Optional[ForecastResponse]:
+        """Wait for one worker's answer; None = timed out or died."""
+        proc, conn = self._workers[slot]
+        deadline = None if self.request_timeout is None \
+            else time.monotonic() + self.request_timeout
+        while True:
+            remaining = 1.0 if deadline is None \
+                else deadline - time.monotonic()
+            if remaining <= 0:
+                self.timeouts += 1
+                self._kill(slot, "request timeout")
+                return None
+            if not conn.poll(min(remaining, 0.05)):
+                if not proc.is_alive() and not conn.poll(0):
+                    self._kill(slot, "died mid-request")
+                    return None
+                continue
+            try:
+                got_id, response = conn.recv()
+            except (EOFError, OSError):
+                self._kill(slot, "pipe closed mid-request")
+                return None
+            if got_id == request_id:
+                return response
+            # A stale answer from a request whose caller already gave up
+            # (post-timeout drain): drop it and keep waiting for ours.
+
+    def _degrade(self, request: ForecastRequest,
+                 error: str) -> ForecastResponse:
+        if self.stale_ok:
+            stale = self._last.get((request.key, request.horizon))
+            if stale is not None:
+                self.degraded += 1
+                emit(self.telemetry, "serve_degraded",
+                     key=str(request.key), horizon=request.horizon,
+                     error=error)
+                return ForecastResponse(
+                    request.key, request.horizon, stale.copy(),
+                    cache="stale", degraded=True)
+        return ForecastResponse(request.key, request.horizon, None,
+                                error=error)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        alive = sum(1 for w in self._workers
+                    if w is not None and w[0].is_alive())
+        return {"workers": len(self._workers), "alive": alive,
+                "deaths": self.deaths, "timeouts": self.timeouts,
+                "degraded": self.degraded}
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for entry in self._workers:
+            if entry is None:
+                continue
+            proc, conn = entry
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for entry in self._workers:
+            if entry is None:
+                continue
+            proc, conn = entry
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+            conn.close()
+
+    def __enter__(self) -> "ForecastWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -101,11 +101,21 @@ class TelemetryLogger:
 
     # ------------------------------------------------------------------
     def emit(self, event: str, **fields) -> dict:
-        """Append one event; returns the record written."""
+        """Append one event; returns the record written.
+
+        Emitting after :meth:`close` is a silent no-op (the record is
+        still built and returned): long-running services race in-flight
+        requests against shutdown, and a late event must not turn into a
+        write-to-closed-stream crash.  Every written line is flushed
+        immediately, so a killed process loses at most the event it was
+        writing.
+        """
         record: Dict = {"ts": time.time(), "event": str(event)}
         if self.run_id is not None:
             record["run_id"] = self.run_id
         record.update(fields)
+        if getattr(self._stream, "closed", False):
+            return record
         self._stream.write(
             json.dumps(record, default=_jsonable, sort_keys=False) + "\n")
         self._stream.flush()

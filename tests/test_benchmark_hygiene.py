@@ -61,6 +61,36 @@ class TestBenchmarkHygiene:
                                               .read_text()))
             assert doc, f"{gate} lacks a docstring"
 
+    def test_serve_gate_wired_into_sweep(self):
+        """The serving regression gate (parity with forecast_latest,
+        cache speedup, throughput floor) must run in the sweep."""
+        script = (BENCH_DIR.parent / "run_benchmarks.sh").read_text()
+        assert "serve_smoke.py" in script
+        gate = BENCH_DIR / "serve_smoke.py"
+        assert gate.exists()
+        assert ast.get_docstring(ast.parse(gate.read_text()))
+
+    def test_serve_smoke_reports_required_sections(self):
+        """BENCH_SERVE.json must keep its parity/cache/throughput
+        sections and the fields the dashboards read."""
+        source = (BENCH_DIR / "serve_smoke.py").read_text()
+        tree = ast.parse(source)
+        report_keys = {
+            key.value
+            for node in ast.walk(tree) if isinstance(node, ast.Dict)
+            for key in node.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        }
+        for section in ("parity", "cache", "throughput"):
+            assert section in report_keys, (
+                f"serve smoke report lost its '{section}' section")
+        for field in ("cold_ms", "hit_ms", "speedup", "forecasts_per_sec",
+                      "p50_ms", "p99_ms"):
+            assert field in source, (
+                f"serve smoke report lost its '{field}' field")
+        assert "forecast_latest" in source, (
+            "the parity gate must compare against forecast_latest")
+
     def test_microbench_reports_every_engine_section(self):
         """BENCH_AUTODIFF.json must record all engine comparisons: the
         eager/replay section, the lowered-plan section (with fusion and

@@ -64,3 +64,25 @@ class TestHeadroomCommand:
         assert main(["headroom", "--city", "toy", "--days", "2"]) == 0
         out = capsys.readouterr().out
         assert "headroom" in out and "oracle" in out
+
+
+class TestServeCommand:
+    def test_serve_in_process(self, tmp_path, capsys):
+        telemetry = tmp_path / "serve.jsonl"
+        code = main(["serve", "--city", "toy", "--days", "2",
+                     "--s", "3", "--h", "1", "--epochs", "1",
+                     "--max-batches", "2", "--requests", "6",
+                     "--checkpoint-dir", str(tmp_path),
+                     "--telemetry", str(telemetry)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "forecasts in" in out and "cache hits" in out
+        assert (tmp_path / "bf-toy.npz").exists()
+        from repro.telemetry import read_events
+        events = {e["event"] for e in read_events(telemetry)}
+        assert "model_load" in events
+        assert "serve_request" in events
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.engine == "replay" and args.workers == 0

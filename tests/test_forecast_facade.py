@@ -4,8 +4,54 @@ import numpy as np
 import pytest
 
 from repro.baselines import NaiveHistogram
+from repro.baselines.mr import MRForecaster
 from repro.experiments import MethodBudget, make_bf, prepare
-from repro.forecast import forecast_latest
+from repro.forecast import (forecast_latest, latest_history, latest_window,
+                            tail_slice)
+from repro.histograms.tensor_builder import ODTensorSequence
+from repro.histograms.windows import WindowDataset
+
+
+def old_forecast_latest(forecaster, sequence, s, horizon):
+    """The pre-optimization facade: pad and window the *whole* history.
+
+    Kept inline as the reference implementation for the O(s + h)
+    tail-local path's bit-identity regression test.
+    """
+    t, n, n_prime, k = sequence.tensors.shape
+    pad_shape = (horizon, n, n_prime, k)
+    padded = ODTensorSequence(
+        tensors=np.concatenate([
+            sequence.tensors,
+            np.zeros(pad_shape, dtype=sequence.tensors.dtype)]),
+        mask=np.concatenate([
+            sequence.mask, np.zeros(pad_shape[:3], dtype=bool)]),
+        counts=np.concatenate([
+            sequence.counts,
+            np.zeros(pad_shape[:3], dtype=sequence.counts.dtype)]),
+        spec=sequence.spec,
+        interval_minutes=sequence.interval_minutes,
+        _validated=True)
+    windows = WindowDataset(padded, s=s, h=horizon)
+    prediction = forecaster.predict(windows, np.array([len(windows) - 1]),
+                                    horizon)
+    return prediction[0]
+
+
+class _SpyForecaster(NaiveHistogram):
+    """Records what the facade hands to ``predict``."""
+
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+
+    def predict(self, dataset, indices, horizon):
+        self.seen.append((dataset, np.atleast_1d(indices).copy()))
+        sequence = dataset.sequence
+        return np.zeros((len(np.atleast_1d(indices)), horizon,
+                         sequence.n_origins, sequence.n_destinations,
+                         sequence.n_buckets),
+                        dtype=sequence.tensors.dtype)
 
 
 class TestForecastLatest:
@@ -43,3 +89,77 @@ class TestForecastLatest:
         nh = NaiveHistogram()
         with pytest.raises(ValueError):
             forecast_latest(nh, sequence.slice(0, 2), s=3, horizon=1)
+
+
+class TestTailLocalServingPath:
+    """The O(s + h) tail slice must be invisible to forecasters."""
+
+    def test_pad_preserves_sequence_dtype(self, sequence):
+        """A float32 pipeline must stay float32 through the facade — the
+        old path padded with float64 zeros and silently upcast the whole
+        window tensor."""
+        f32 = ODTensorSequence(
+            tensors=sequence.tensors.astype(np.float32),
+            mask=sequence.mask.copy(),
+            counts=sequence.counts.copy(),
+            spec=sequence.spec,
+            interval_minutes=sequence.interval_minutes,
+            _validated=True)
+        spy = _SpyForecaster()
+        out = forecast_latest(spy, f32, s=3, horizon=2)
+        (windowed, indices), = spy.seen
+        assert windowed.sequence.tensors.dtype == np.float32
+        assert out.dtype == np.float32
+        assert indices.tolist() == [len(windowed) - 1]
+
+    def test_only_the_tail_is_windowed(self, sequence):
+        spy = _SpyForecaster()
+        forecast_latest(spy, sequence, s=3, horizon=2)
+        (windowed, _), = spy.seen
+        # s real intervals + h zero-pad, regardless of history length.
+        assert windowed.sequence.n_intervals == 3 + 2
+        assert len(windowed) == 1
+        np.testing.assert_array_equal(
+            windowed.sequence.tensors[:3], sequence.tensors[-3:])
+
+    def test_offset_preserves_absolute_target_intervals(self, sequence):
+        """Slot-conditioned forecasters key on absolute interval indices
+        (``t % slots_per_day``); the tail slice must not reset them."""
+        t = sequence.n_intervals
+        windows, last = latest_window(sequence, s=3, horizon=2)
+        np.testing.assert_array_equal(windows.target_intervals(last),
+                                      np.arange(t, t + 2))
+
+    def test_bit_identical_to_full_history_path(self, dataset):
+        """Tail-local serving must return exactly what the old
+        whole-history pad-and-window path returned, including for the
+        time-of-day conditioned MR baseline."""
+        data = prepare(dataset, s=3, h=2)
+        bf = make_bf(data, MethodBudget(epochs=1, batch_size=8,
+                                        max_train_batches=3))
+        bf.fit(data.windows, data.split, horizon=2)
+        bf.model.eval()
+        mr = MRForecaster(epochs=1, embedding_dim=4, hidden_dim=8)
+        mr.fit(data.windows, data.split, horizon=2)
+        for forecaster in (bf, mr):
+            for stop in (data.sequence.n_intervals, 100):
+                tail = data.sequence.slice(0, stop)
+                new = forecast_latest(forecaster, tail, s=3, horizon=2)
+                old = old_forecast_latest(forecaster, tail, s=3, horizon=2)
+                np.testing.assert_array_equal(new, old)
+
+    def test_latest_history_matches_window_input(self, sequence):
+        history = latest_history(sequence, s=3)
+        np.testing.assert_array_equal(history, sequence.tensors[-3:])
+        with pytest.raises(ValueError):
+            latest_history(sequence.slice(0, 2), s=3)
+
+    def test_tail_slice_short_sequence_returned_whole(self, sequence):
+        short = sequence.slice(0, 2)
+        assert tail_slice(short, 5) is short
+
+    def test_offset_default_is_zero(self, sequence):
+        windows = WindowDataset(sequence, s=3, h=2)
+        assert windows.offset == 0
+        np.testing.assert_array_equal(windows.target_intervals(0),
+                                      np.arange(3, 5))

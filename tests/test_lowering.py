@@ -339,3 +339,41 @@ class TestLoweredPerfGuard:
         assert lowered_s <= replay_s * 1.25, (
             f"lowered AF step {lowered_s * 1e3:.1f}ms slower than replay "
             f"{replay_s * 1e3:.1f}ms")
+
+
+class TestForwardOnlyPlans:
+    """Inference-only compilation (the ``repro.serve`` fast path): the
+    forward schedule must be byte-for-byte the training plan's, and the
+    backward schedule must simply not exist."""
+
+    def _tape(self):
+        model, loss_fn = _bf_parts(dropout=0.0)
+        engine = ReplayEngine(model, loss_fn)
+        history, truth, mask = _batch(np.random.default_rng(0))
+        engine.forward(history, truth, mask, 2)
+        tape = next(iter(engine._tapes.values()))
+        return tape, history, truth, mask
+
+    def test_forward_only_matches_full_plan_forward(self):
+        tape, history, truth, mask = self._tape()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")      # no fallback allowed
+            full = lowering.lower_tape(tape)
+            forward_only = lowering.lower_tape(tape, forward_only=True)
+        expected = np.array(full.run_forward(history, truth, mask).data,
+                            copy=True)
+        got = forward_only.run_forward(history, truth, mask)
+        assert np.array_equal(got.data, expected)
+
+    def test_forward_only_plan_has_no_backward(self):
+        tape, history, truth, mask = self._tape()
+        plan = lowering.lower_tape(tape, forward_only=True)
+        plan.run_forward(history, truth, mask)
+        with pytest.raises(RuntimeError, match="forward_only"):
+            plan.run_backward()
+
+    def test_full_plan_still_runs_backward(self):
+        tape, history, truth, mask = self._tape()
+        plan = lowering.lower_tape(tape)
+        plan.run_forward(history, truth, mask)
+        plan.run_backward()                     # must not raise

@@ -14,8 +14,9 @@ import numpy as np
 import pytest
 
 import repro.autodiff as autodiff
-from repro.autodiff import (Adam, CaptureMismatchWarning, ReplayEngine,
-                            Tensor, detect_anomaly, ops, profile)
+from repro.autodiff import (Adam, CaptureMismatchWarning, InferenceEngine,
+                            ReplayEngine, Tensor, detect_anomaly, ops,
+                            profile)
 from repro.core import (AdvancedFramework, BasicFramework, TrainConfig,
                         Trainer, af_loss, bf_loss)
 
@@ -520,3 +521,116 @@ class TestDropoutDtype:
             assert x.grad.dtype == np.float32
         finally:
             autodiff.set_default_dtype(np.float64)
+
+
+class TestInferenceEngine:
+    """Forward-only serving tapes (the repro.serve hot path)."""
+
+    def _eager(self, model, history, horizon=2):
+        model.eval()
+        prediction, _, _ = model(history, horizon)
+        return np.array(prediction.data, copy=True)
+
+    def test_capture_then_replay_bit_identical(self):
+        model, _ = _bf_parts()
+        history, _, _ = _batch(np.random.default_rng(0))
+        expected = self._eager(model, history)
+        engine = InferenceEngine(model)
+        first = engine.predict(history, 2)
+        second = engine.predict(history, 2)
+        third = engine.predict(history, 2)
+        for out in (first, second, third):
+            np.testing.assert_array_equal(out, expected)
+        stats = engine.stats()
+        assert stats["captures"] == 1
+        assert stats["replays"] == 2
+        assert stats["eager_steps"] == 0
+
+    def test_returns_are_independent_copies(self):
+        """Arena buffers are reused between requests; handing a view out
+        would let the next request mutate a caller's answer."""
+        model, _ = _bf_parts()
+        history, _, _ = _batch(np.random.default_rng(0))
+        engine = InferenceEngine(model)
+        first = engine.predict(history, 2)
+        kept = first.copy()
+        engine.predict(history * 0.5, 2)     # same signature, new data
+        np.testing.assert_array_equal(first, kept)
+
+    def test_eval_forced_during_predict_and_training_restored(self):
+        """Dropout must never leak into a serving capture, and predict
+        must not flip a model that a trainer still owns."""
+        model, _ = _bf_parts(dropout=0.5)
+        history, _, _ = _batch(np.random.default_rng(0))
+        model.train()
+        engine = InferenceEngine(model)
+        first = engine.predict(history, 2)
+        second = engine.predict(history, 2)
+        assert model.training
+        np.testing.assert_array_equal(first, second)
+
+    def test_signature_change_captures_new_tape_with_lru_eviction(self):
+        model, _ = _bf_parts()
+        big, _, _ = _batch(np.random.default_rng(0), batch=4)
+        small, _, _ = _batch(np.random.default_rng(1), batch=2)
+        engine = InferenceEngine(model, max_tapes=1)
+        engine.predict(big, 2)
+        engine.predict(small, 2)             # evicts the big tape
+        assert engine.stats()["tapes"] == 1
+        engine.predict(big, 2)               # must recapture, not replay
+        stats = engine.stats()
+        assert stats["captures"] == 3
+        assert stats["replays"] == 0
+
+    def test_invalidate_forces_recapture(self):
+        model, _ = _bf_parts()
+        history, _, _ = _batch(np.random.default_rng(0))
+        engine = InferenceEngine(model)
+        engine.predict(history, 2)
+        engine.predict(history, 2)
+        engine.invalidate()
+        assert engine.stats()["tapes"] == 0
+        engine.predict(history, 2)
+        assert engine.stats()["captures"] == 2
+
+    def test_invalidate_tracks_reloaded_weights(self):
+        """The registry hot-reload path: new weights + invalidate must
+        serve the new model's prediction bit-identically."""
+        model, _ = _bf_parts()
+        history, _, _ = _batch(np.random.default_rng(0))
+        engine = InferenceEngine(model)
+        engine.predict(history, 2)
+        for parameter in model.parameters():
+            parameter.data = parameter.data + 0.01
+        engine.invalidate()
+        np.testing.assert_array_equal(engine.predict(history, 2),
+                                      self._eager(model, history))
+
+    def test_declines_under_detect_anomaly(self):
+        model, _ = _bf_parts()
+        history, _, _ = _batch(np.random.default_rng(0))
+        engine = InferenceEngine(model)
+        expected = self._eager(model, history)
+        with detect_anomaly():
+            out = engine.predict(history, 2)
+        np.testing.assert_array_equal(out, expected)
+        stats = engine.stats()
+        assert stats["eager_steps"] == 1
+        assert stats["captures"] == 0
+
+    def test_lowered_inference_bit_identical(self):
+        model, _ = _bf_parts()
+        history, _, _ = _batch(np.random.default_rng(0))
+        expected = self._eager(model, history)
+        engine = InferenceEngine(model, lower=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")   # no LoweringFallbackWarning
+            first = engine.predict(history, 2)
+            second = engine.predict(history, 2)
+            third = engine.predict(history, 2)
+        for out in (first, second, third):
+            np.testing.assert_array_equal(out, expected)
+        stats = engine.stats()
+        assert stats["captures"] == 1
+        assert stats["lowered_steps"] == 2
+        assert stats["plan_fallbacks"] == 0

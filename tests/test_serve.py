@@ -1,0 +1,455 @@
+"""Tests for the forecast serving layer (``repro.serve``).
+
+The serving contract (docs/SERVING.md): a single served request is
+bit-identical to calling :func:`repro.forecast.forecast_latest` on the
+fitted forecaster; corrupt checkpoints are reported and never served;
+hot-reloads invalidate every answer cached from the old weights; and
+every failure degrades down an explicit ladder (cache hit -> healthy
+forward -> retry -> stale flagged answer -> error response) instead of
+taking the service down.
+"""
+
+import os
+import signal
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.experiments import MethodBudget, make_bf, prepare
+from repro.faultinject import corrupt_file
+from repro.forecast import forecast_latest
+from repro.persistence import save_checkpoint
+from repro.serve import (ForecastRequest, ForecastResponse, ForecastService,
+                         ForecastWorkerPool, ModelKey, ModelRegistry,
+                         ModelUnavailableError, ResponseCache, ServeConfig,
+                         window_signature)
+
+S, H = 3, 2
+BUDGET = MethodBudget(epochs=1, batch_size=8, max_train_batches=3)
+
+
+@pytest.fixture(scope="module")
+def served(dataset, tmp_path_factory):
+    """A fitted BF, its checksummed checkpoint, and a builder closure."""
+    data = prepare(dataset, s=S, h=H)
+    forecaster = make_bf(data, BUDGET)
+    forecaster.fit(data.windows, data.split, horizon=H)
+    forecaster.model.eval()
+    path = tmp_path_factory.mktemp("serve") / "bf.npz"
+    save_checkpoint(path, forecaster.model, epoch=4)
+    return SimpleNamespace(
+        data=data, forecaster=forecaster, path=path,
+        builder=lambda: make_bf(data, BUDGET).model)
+
+
+def _service(served, key, telemetry=None, **config):
+    service = ForecastService(ServeConfig(**config), telemetry=telemetry)
+    service.register(key, served.path, served.builder)
+    return service
+
+
+class TestModelRegistry:
+    def test_unregistered_key_rejected(self):
+        registry = ModelRegistry()
+        with pytest.raises(ModelUnavailableError, match="not registered"):
+            registry.get(ModelKey("nowhere"))
+
+    def test_lazy_load_and_fingerprint_reuse(self, served):
+        registry = ModelRegistry()
+        key = ModelKey("toy")
+        registry.register(key, served.path, served.builder)
+        assert registry.loads == 0           # nothing read yet
+        first = registry.get(key)
+        second = registry.get(key)
+        assert first is second               # unchanged file -> same model
+        assert registry.stats()["loads"] == 1
+        assert first.epoch == 4              # checkpoint metadata surfaced
+
+    def test_corrupt_checkpoint_reported_never_served(self, served,
+                                                      tmp_path):
+        """A failed SHA-256 check must raise cleanly, count as an error,
+        and emit ``model_error`` — serving garbage weights is the one
+        unforgivable failure."""
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(served.path.read_bytes())
+        corrupt_file(bad, seed=0, mode="bitflip", n_bits=16)
+        events = []
+        registry = ModelRegistry(
+            telemetry=lambda event, fields: events.append((event, fields)))
+        key = ModelKey("toy", "corrupt")
+        registry.register(key, bad, served.builder)
+        with pytest.raises(ModelUnavailableError, match="rejected"):
+            registry.get(key)
+        assert registry.stats()["errors"] == 1
+        assert registry.stats()["loaded"] == 0
+        kinds = [event for event, _ in events]
+        assert kinds == ["model_error"]
+        assert str(key) in events[0][1]["key"]
+
+    def test_missing_checkpoint_reported(self, served, tmp_path):
+        registry = ModelRegistry()
+        key = ModelKey("toy", "missing")
+        registry.register(key, tmp_path / "gone.npz", served.builder)
+        with pytest.raises(ModelUnavailableError, match="unreadable"):
+            registry.get(key)
+        assert registry.errors == 1
+
+    def test_hot_reload_on_file_change(self, served, tmp_path):
+        """An atomic checkpoint rewrite (new inode) must be picked up on
+        the next get, with a ``model_reload`` event."""
+        path = tmp_path / "bf.npz"
+        path.write_bytes(served.path.read_bytes())
+        events = []
+        registry = ModelRegistry(
+            telemetry=lambda event, fields: events.append(event))
+        key = ModelKey("toy", "reload")
+        registry.register(key, path, served.builder)
+        old = registry.get(key)
+        perturbed = served.builder()
+        perturbed.load_state_dict(
+            {name: value.copy()
+             for name, value in old.model.state_dict().items()})
+        for parameter in perturbed.parameters():
+            parameter.data = parameter.data + 0.01
+        save_checkpoint(path, perturbed, epoch=5)
+        fresh = registry.get(key)
+        assert fresh is not old
+        assert fresh.epoch == 5
+        assert registry.stats()["reloads"] == 1
+        assert events == ["model_load", "model_reload"]
+
+    def test_lru_eviction_under_pressure(self, served):
+        events = []
+        registry = ModelRegistry(
+            ServeConfig(max_models=1),
+            telemetry=lambda event, fields: events.append((event, fields)))
+        a, b = ModelKey("toy", "a"), ModelKey("toy", "b")
+        registry.register(a, served.path, served.builder)
+        registry.register(b, served.path, served.builder)
+        registry.get(a)
+        registry.get(b)                      # evicts a
+        registry.get(a)                      # reloads a, evicts b
+        stats = registry.stats()
+        assert stats["loaded"] == 1
+        assert stats["evictions"] == 2
+        evicted = [fields["key"] for event, fields in events
+                   if event == "model_evict"]
+        assert evicted == [str(a), str(b)]
+
+
+class TestResponseCache:
+    def test_lru_bound_and_counters(self):
+        cache = ResponseCache(max_entries=2)
+        for i in range(3):
+            cache.put(("m", str(i), 1), np.full(2, float(i)))
+        assert len(cache) == 2
+        assert cache.get(("m", "0", 1)) is None          # evicted
+        np.testing.assert_array_equal(cache.get(("m", "2", 1)),
+                                      np.full(2, 2.0))
+        assert cache.stats() == {"entries": 2, "hits": 1, "misses": 1}
+
+    def test_returns_copies_both_ways(self):
+        cache = ResponseCache()
+        stored = np.zeros(3)
+        cache.put(("m", "sig", 1), stored)
+        stored += 1.0                        # caller mutates its array
+        first = cache.get(("m", "sig", 1))
+        first += 2.0                         # caller mutates the answer
+        np.testing.assert_array_equal(cache.get(("m", "sig", 1)),
+                                      np.zeros(3))
+
+    def test_invalidate_model_drops_only_that_key(self):
+        cache = ResponseCache()
+        a, b = ModelKey("a"), ModelKey("b")
+        cache.put((a, "sig", 1), np.zeros(1))
+        cache.put((b, "sig", 1), np.ones(1))
+        assert cache.invalidate_model(a) == 1
+        assert cache.get((a, "sig", 1)) is None
+        assert cache.get((b, "sig", 1)) is not None
+
+    def test_window_signature_is_content_identity(self):
+        x = np.arange(6.0).reshape(2, 3)
+        assert window_signature(x) == window_signature(x.copy())
+        assert window_signature(x) != window_signature(x.reshape(3, 2))
+        assert window_signature(x) != window_signature(
+            x.astype(np.float32))
+
+
+class TestForecastService:
+    def test_served_bit_identical_to_forecast_latest(self, served):
+        """The acceptance gate: the full stack (registry -> inference
+        tape -> cache) must not change a single bit of the forecast."""
+        key = ModelKey("toy")
+        service = _service(served, key)
+        sequence = served.data.sequence
+        direct = forecast_latest(served.forecaster, sequence, S, H)
+        cold = service.forecast(key, sequence, S, H)
+        warm = service.forecast(key, sequence, S, H)
+        np.testing.assert_array_equal(cold, direct)
+        np.testing.assert_array_equal(warm, direct)
+        service.close()
+
+    def test_cache_hit_bit_identical_to_cold_forward(self, served):
+        key = ModelKey("toy")
+        service = _service(served, key)
+        request = ForecastRequest(key, served.data.sequence, S, H)
+        cold = service.forecast_one(request)
+        hit = service.forecast_one(request)
+        assert cold.cache == "miss" and hit.cache == "hit"
+        np.testing.assert_array_equal(hit.prediction, cold.prediction)
+        assert service.cache.stats()["hits"] == 1
+        service.close()
+
+    def test_micro_batched_group_matches_single_requests(self, served):
+        """Same-model misses coalesce into one batched forward; each
+        row must match its own single forward to float-reduction noise
+        (batched matmuls reduce in a different order)."""
+        key = ModelKey("toy")
+        sequence = served.data.sequence
+        t = sequence.n_intervals
+        tails = [sequence.slice(0, t - i) for i in range(3)]
+        singles = [forecast_latest(served.forecaster, tail, S, H)
+                   for tail in tails]
+        service = _service(served, key)
+        responses = service.forecast_many(
+            [ForecastRequest(key, tail, S, H) for tail in tails])
+        assert [r.batch for r in responses] == [3, 3, 3]
+        for response, single in zip(responses, singles):
+            assert response.ok
+            np.testing.assert_allclose(response.prediction, single,
+                                       rtol=0, atol=1e-12)
+        service.close()
+
+    def test_mixed_batch_preserves_order_and_reports_errors(self, served):
+        key = ModelKey("toy")
+        service = _service(served, key)
+        sequence = served.data.sequence
+        good = ForecastRequest(key, sequence, S, H)
+        too_short = ForecastRequest(key, sequence.slice(0, 1), S, H)
+        unknown = ForecastRequest(ModelKey("nowhere"), sequence, S, H)
+        responses = service.forecast_many([good, too_short, unknown])
+        assert responses[0].ok and responses[0].prediction is not None
+        assert not responses[1].ok and "ValueError" in responses[1].error
+        assert not responses[2].ok and responses[2].prediction is None
+        service.close()
+
+    def test_hot_reload_never_serves_stale_cache(self, served, tmp_path):
+        """Eviction + rewrite: after the checkpoint changes on disk, the
+        very next answer must come from the new weights — a cache entry
+        from the old instance must not survive the reload."""
+        path = tmp_path / "bf.npz"
+        path.write_bytes(served.path.read_bytes())
+        key = ModelKey("toy", "reload")
+        service = ForecastService(ServeConfig())
+        service.register(key, path, served.builder)
+        sequence = served.data.sequence
+        old = service.forecast(key, sequence, S, H)
+
+        perturbed = served.builder()
+        loaded = service.registry.get(key)
+        perturbed.load_state_dict(
+            {name: value.copy()
+             for name, value in loaded.model.state_dict().items()})
+        for parameter in perturbed.parameters():
+            parameter.data = parameter.data + 0.01
+        save_checkpoint(path, perturbed, epoch=5)
+
+        response = service.forecast_one(
+            ForecastRequest(key, sequence, S, H))
+        assert response.cache == "miss"      # old cache entry was dropped
+        assert not np.array_equal(response.prediction, old)
+        perturbed.eval()
+        prediction, _, _ = perturbed(
+            sequence.tensors[-S:][None], H)
+        np.testing.assert_array_equal(response.prediction,
+                                      prediction.numpy()[0])
+        service.close()
+
+    def test_degrades_to_stale_answer_when_model_breaks(self, served,
+                                                        tmp_path):
+        """Ladder rung 4: checkpoint vanishes mid-flight -> the last
+        good answer is served, clearly flagged, and telemetry records
+        the degradation."""
+        path = tmp_path / "bf.npz"
+        path.write_bytes(served.path.read_bytes())
+        events = []
+        key = ModelKey("toy", "fragile")
+        service = ForecastService(
+            ServeConfig(),
+            telemetry=lambda event, fields: events.append((event, fields)))
+        service.register(key, path, served.builder)
+        sequence = served.data.sequence
+        healthy = service.forecast(key, sequence, S, H)
+        path.unlink()                        # deployment loses its file
+        response = service.forecast_one(
+            ForecastRequest(key, sequence, S, H))
+        assert response.ok and response.degraded
+        assert response.cache == "stale"
+        np.testing.assert_array_equal(response.prediction, healthy)
+        degraded = [fields for event, fields in events
+                    if event == "serve_request" and fields["degraded"]]
+        assert len(degraded) == 1
+        service.close()
+
+    def test_stale_ok_false_fails_loudly(self, served, tmp_path):
+        path = tmp_path / "bf.npz"
+        path.write_bytes(served.path.read_bytes())
+        key = ModelKey("toy", "strict")
+        service = ForecastService(ServeConfig(stale_ok=False))
+        service.register(key, path, served.builder)
+        sequence = served.data.sequence
+        service.forecast(key, sequence, S, H)
+        path.unlink()
+        response = service.forecast_one(
+            ForecastRequest(key, sequence, S, H))
+        assert not response.ok and response.prediction is None
+        with pytest.raises(ModelUnavailableError):
+            service.forecast(key, sequence, S, H)
+        service.close()
+
+    def test_submit_coalesces_concurrent_requests(self, served):
+        """Async submissions landing inside one batch window must be
+        answered by a single grouped forecast_many call."""
+        key = ModelKey("toy")
+        service = _service(served, key, batch_window=0.05)
+        sequence = served.data.sequence
+        t = sequence.n_intervals
+        tails = [sequence.slice(0, t - i) for i in range(4)]
+        pendings = [service.submit(ForecastRequest(key, tail, S, H))
+                    for tail in tails]
+        responses = [service.result(p, timeout=30.0) for p in pendings]
+        assert all(r.ok for r in responses)
+        assert max(r.batch for r in responses) > 1   # coalescing happened
+        for response, tail in zip(responses, tails):
+            direct = forecast_latest(served.forecaster, tail, S, H)
+            np.testing.assert_allclose(response.prediction, direct,
+                                       rtol=0, atol=1e-12)
+        service.close()
+
+    def test_stats_shape(self, served):
+        key = ModelKey("toy")
+        service = _service(served, key)
+        service.forecast(key, served.data.sequence, S, H)
+        stats = service.stats()
+        assert stats["requests"] == 1
+        assert stats["cache"]["misses"] == 1
+        assert stats["registry"]["loads"] == 1
+        assert stats["engines"][str(key)]["captures"] == 1
+        service.close()
+
+    def test_engine_validation(self):
+        with pytest.raises(ValueError, match="engine"):
+            ServeConfig(engine="gpu")
+
+
+class TestForecastWorkerPool:
+    @pytest.fixture()
+    def factory(self, served):
+        key = ModelKey("toy")
+        path, builder = served.path, served.builder
+
+        def service_factory():
+            service = ForecastService(ServeConfig())
+            service.register(key, path, builder)
+            return service
+
+        return key, service_factory
+
+    def test_pool_answers_match_direct_forecast(self, served, factory):
+        key, service_factory = factory
+        sequence = served.data.sequence
+        direct = forecast_latest(served.forecaster, sequence, S, H)
+        with ForecastWorkerPool(service_factory, n_workers=1) as pool:
+            response = pool.forecast(ForecastRequest(key, sequence, S, H))
+            assert response.ok
+            np.testing.assert_array_equal(response.prediction, direct)
+
+    def test_dead_worker_respawned_and_request_retried(self, served,
+                                                       factory):
+        key, service_factory = factory
+        sequence = served.data.sequence
+        with ForecastWorkerPool(service_factory, n_workers=1,
+                                retries=1) as pool:
+            first = pool.forecast(ForecastRequest(key, sequence, S, H))
+            assert first.ok
+            proc, _ = pool._workers[0]
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(timeout=5.0)
+            second = pool.forecast(ForecastRequest(key, sequence, S, H))
+            assert second.ok and not second.degraded
+            np.testing.assert_array_equal(second.prediction,
+                                          first.prediction)
+            stats = pool.stats()
+            assert stats["deaths"] >= 1
+            assert stats["alive"] == 1
+
+    def test_degrades_to_stale_mirror_when_workers_cannot_answer(
+            self, served, factory):
+        """Ladder's last rung through the pool: every attempt fails, but
+        a previously-served answer exists in the parent's mirror."""
+        key, service_factory = factory
+        sequence = served.data.sequence
+        events = []
+        with ForecastWorkerPool(
+                service_factory, n_workers=1, retries=0,
+                telemetry=lambda event, fields: events.append(event)
+                ) as pool:
+            healthy = pool.forecast(ForecastRequest(key, sequence, S, H))
+            assert healthy.ok
+            bad = ForecastRequest(ModelKey("nowhere"), sequence, S, H)
+            pool._last[(bad.key, H)] = healthy.prediction.copy()
+            response = pool.forecast(bad)
+            assert response.ok and response.degraded
+            assert response.cache == "stale"
+            np.testing.assert_array_equal(response.prediction,
+                                          healthy.prediction)
+            assert pool.stats()["degraded"] == 1
+            assert "serve_degraded" in events
+
+    def test_error_response_when_no_stale_answer_exists(self, served,
+                                                        factory):
+        key, service_factory = factory
+        sequence = served.data.sequence
+        with ForecastWorkerPool(service_factory, n_workers=1,
+                                retries=0) as pool:
+            response = pool.forecast(
+                ForecastRequest(ModelKey("nowhere"), sequence, S, H))
+            assert not response.ok
+            assert response.prediction is None
+
+    def test_timeout_kills_and_respawns_worker(self, served, factory):
+        """A hung worker must not hang the parent: the request times
+        out, the worker is replaced, and the pool keeps serving."""
+        key, service_factory = factory
+        sequence = served.data.sequence
+        with ForecastWorkerPool(service_factory, n_workers=1,
+                                request_timeout=0.2, retries=0) as pool:
+            proc, _ = pool._workers[0]
+            os.kill(proc.pid, signal.SIGSTOP)   # simulate a hang
+            start = time.monotonic()
+            response = pool.forecast(
+                ForecastRequest(key, sequence, S, H))
+            elapsed = time.monotonic() - start
+            assert not proc.is_alive()         # SIGKILL beat the SIGSTOP
+            assert elapsed < 5.0
+            assert pool.stats()["timeouts"] == 1
+            assert not response.ok             # nothing mirrored yet
+            retry = pool.forecast(ForecastRequest(key, sequence, S, H))
+            assert retry.ok                    # respawned worker answers
+
+    def test_closed_pool_rejects_requests(self, served, factory):
+        key, service_factory = factory
+        pool = ForecastWorkerPool(service_factory, n_workers=1)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.forecast(
+                ForecastRequest(key, served.data.sequence, S, H))
+
+
+class TestResponseDataclass:
+    def test_ok_property(self):
+        good = ForecastResponse(ModelKey("a"), H, np.zeros(1))
+        bad = ForecastResponse(ModelKey("a"), H, None, error="boom")
+        assert good.ok and not bad.ok

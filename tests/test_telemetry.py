@@ -53,6 +53,26 @@ class TestTelemetryLogger:
         log.emit("a", x=1)
         assert json.loads(stream.getvalue())["x"] == 1
 
+    def test_emit_after_close_is_a_noop(self, tmp_path):
+        """Long-running services may race a shutdown against in-flight
+        workers; a late emit must neither raise nor lose earlier events."""
+        path = tmp_path / "events.jsonl"
+        log = TelemetryLogger(path)
+        log.emit("before")
+        log.close()
+        record = log.emit("after", x=1)          # must not raise
+        assert record["event"] == "after"        # caller still gets the dict
+        assert [e["event"] for e in read_events(path)] == ["before"]
+
+    def test_every_event_flushed_immediately(self, tmp_path):
+        """A crash (or a reader tailing the file) must see every event
+        already emitted — no buffering until close."""
+        path = tmp_path / "events.jsonl"
+        log = TelemetryLogger(path)
+        log.emit("a", x=1)
+        assert [e["event"] for e in read_events(path)] == ["a"]
+        log.close()
+
     def test_read_events_filter(self, tmp_path):
         path = tmp_path / "events.jsonl"
         with TelemetryLogger(path) as log:
