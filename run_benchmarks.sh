@@ -36,6 +36,13 @@ python3 benchmarks/lowered_smoke.py || exit 1
 # root (see docs/SERVING.md).
 python3 benchmarks/serve_smoke.py || exit 1
 
+# Sharding gate: a short AF fit under exact-mode sharded execution must
+# be bit-identical to dense (losses, weights, RNG), and a 500-region
+# metro city must train a smoke epoch through the block-sparse blocked
+# path under the per-shard memory budget in less wall-clock than dense.
+# Writes BENCH_SHARD.json at the repo root (see docs/SHARDING.md).
+python3 benchmarks/shard_smoke.py || exit 1
+
 # Kernel microbenchmarks first: fused vs. reference autodiff ops and
 # one AF/BF training step.  Writes BENCH_AUTODIFF.json at the repo root.
 python3 benchmarks/microbench.py \

@@ -9,8 +9,11 @@ from .config import (PaperHyperParameters, PracticalHyperParameters,
 from .losses import (af_loss, bf_loss, factor_dirichlet, factor_frobenius,
                      masked_frobenius)
 from .recovery import recover
+from .shardexec import (DataParallelUnit, ShardedExecution,
+                        ShardMemoryBudgetError)
 from .spatial import (DEFAULT_BLOCKS, GCNNBlock, SpatialFactorizer,
-                      factorize_tensor_batch)
+                      factorize_tensor_batch,
+                      sharded_factorize_tensor_batch)
 from .trainer import (ENGINE_MODES, NonFiniteGradError, TrainConfig,
                       Trainer, TrainResult)
 
@@ -19,7 +22,8 @@ __all__ = [
     "CNRNNCell", "GraphSeq2Seq",
     "TemporalAttention", "AttentiveSeq2Seq",
     "SpatialFactorizer", "GCNNBlock", "DEFAULT_BLOCKS",
-    "factorize_tensor_batch",
+    "factorize_tensor_batch", "sharded_factorize_tensor_batch",
+    "ShardedExecution", "ShardMemoryBudgetError", "DataParallelUnit",
     "recover",
     "masked_frobenius", "bf_loss", "af_loss",
     "factor_frobenius", "factor_dirichlet",

@@ -22,7 +22,8 @@ from ..contracts import (check_finite, check_shape_dtype,
 from .cnrnn import GraphSeq2Seq, twin_forecast
 from .recovery import recover
 from .spatial import (DEFAULT_BLOCKS, GCNNBlock, SpatialFactorizer,
-                      factorize_tensor_batch)
+                      factorize_tensor_batch,
+                      sharded_factorize_tensor_batch)
 
 
 class AdvancedFramework(Module):
@@ -77,6 +78,25 @@ class AdvancedFramework(Module):
         self.rnn_c = GraphSeq2Seq(self.dest_weights, channels, rnn_hidden,
                                   channels, rnn_order, rng,
                                   num_layers=rnn_layers)
+        # Optional sharded stage-1 execution (metro scale); installed
+        # via set_sharding, never serialized with the weights.
+        self._sharding = None
+
+    def set_sharding(self, execution) -> None:
+        """Install (or clear, with ``None``) a sharded stage-1 path.
+
+        ``execution`` is a :class:`repro.core.shardexec.ShardedExecution`
+        whose plan must cover this model's regions; stage 2 (the CNRNN
+        forecaster) is untouched — its signals are ``(N, β·K)``, linear
+        in N, and not the scaling bottleneck.
+        """
+        if execution is not None:
+            ok, reason = execution.supports(self)
+            if not ok:
+                raise ValueError(
+                    f"sharded execution does not fit this model: "
+                    f"{reason}")
+        self._sharding = execution
 
     def forward(self, history: Union[np.ndarray, Tensor], horizon: int
                 ) -> Tuple[Tensor, Tensor, Tensor]:
@@ -102,8 +122,13 @@ class AdvancedFramework(Module):
 
         # Stage 1: spatial factorization of every historical tensor.
         flat_steps = x.reshape(batch * steps, n, n_prime, k)
-        r_hist, c_hist = factorize_tensor_batch(self.factor_r,
-                                                self.factor_c, flat_steps)
+        sharding = getattr(self, "_sharding", None)
+        if sharding is not None:
+            r_hist, c_hist = sharded_factorize_tensor_batch(
+                self.factor_r, self.factor_c, flat_steps, sharding)
+        else:
+            r_hist, c_hist = factorize_tensor_batch(
+                self.factor_r, self.factor_c, flat_steps)
         # R history: (B, s, N, β*K) — graph signal over origins.
         r_seq = r_hist.reshape(batch, steps, n, self.rank * k)
         # C history: (B, s, β, N', K) → (B, s, N', β*K) over destinations.

@@ -231,3 +231,18 @@ def factorize_tensor_batch(factorizer_r: SpatialFactorizer,
                                        factorizer_c.rank, k)
     c = c.transpose((0, 2, 1, 3))                   # (B, β, N', K)
     return r, c
+
+
+def sharded_factorize_tensor_batch(factorizer_r: SpatialFactorizer,
+                                   factorizer_c: SpatialFactorizer,
+                                   tensors: Tensor,
+                                   execution) -> Tuple[Tensor, Tensor]:
+    """Sharded twin of :func:`factorize_tensor_batch`.
+
+    ``execution`` is a :class:`repro.core.shardexec.ShardedExecution`;
+    the R side runs one origin shard's slices at a time over the
+    destination graph, the C side one destination shard's slices over
+    the origin graph.  Same shapes and (in ``"exact"`` mode) bit-
+    identical values/gradients as the dense function.
+    """
+    return execution.factorize(factorizer_r, factorizer_c, tensors)

@@ -151,10 +151,26 @@ class Trainer:
     """
 
     def __init__(self, model: Module, loss_fn: LossFn,
-                 config: TrainConfig = None):
+                 config: TrainConfig = None, sharding=None):
         self.model = model
         self.loss_fn = loss_fn
         self.config = config or TrainConfig()
+        self.sharding = sharding
+        if sharding is not None:
+            if not hasattr(model, "set_sharding"):
+                raise ValueError(
+                    f"{type(model).__name__} does not support sharded "
+                    f"execution (no set_sharding hook)")
+            model.set_sharding(sharding)
+            if self.config.engine != "eager":
+                # Sharded forwards re-plan their work per occupancy
+                # pattern; a replay tape would pin the first pattern's
+                # buffer arena, so sharding forces the eager engine.
+                warnings.warn(
+                    f"sharded execution forces engine='eager' "
+                    f"(requested {self.config.engine!r})",
+                    RuntimeWarning)
+                self.config.engine = "eager"
         # The replay/lowered engines hand Adam a gradient for every
         # parameter on every step, which is exactly what the flat
         # vectorized path needs; eager mode keeps the per-parameter loop
@@ -165,6 +181,18 @@ class Trainer:
         self.scheduler = StepDecay(self.optimizer,
                                    factor=self.config.decay_factor,
                                    every=self.config.decay_every)
+
+    # ------------------------------------------------------------------
+    def data_parallel_units(self):
+        """The sharded (side, shard) work units of this run's stage 1.
+
+        Empty without sharding.  Each unit owns a disjoint set of slice
+        rows and shares parameters with the rest — see
+        :class:`repro.core.shardexec.DataParallelUnit`.
+        """
+        if self.sharding is None:
+            return []
+        return self.sharding.data_parallel_units()
 
     # ------------------------------------------------------------------
     def fit(self, dataset: WindowDataset, split: Split, horizon: int,
@@ -211,6 +239,10 @@ class Trainer:
         emit(telemetry, "fit_start", epochs=cfg.epochs,
              start_epoch=start_epoch, n_train=len(split.train),
              n_val=len(split.val))
+        if self.sharding is not None:
+            emit(telemetry, "sharding",
+                 units=len(self.data_parallel_units()),
+                 **self.sharding.describe())
         contracts = get_contract_policy()
         engine = None
         if cfg.engine in ("replay", "lowered"):

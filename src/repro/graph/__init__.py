@@ -11,6 +11,8 @@ graph machinery needs:
 * :func:`coarsen_graph` / :class:`GraphPool` — Graclus-style coarsening
   and the cluster-aware "geometrical pooling" of §V-A2.
 * :func:`dirichlet_energy` — the smoothness norm of the AF loss (Eq. 11).
+* :func:`plan_shards` — Graclus-cluster shard plans with halo exchange
+  lists for metro-scale sharded execution (see docs/SHARDING.md).
 """
 
 from .chebconv import ChebConv, GraphPool
@@ -22,6 +24,7 @@ from .laplacian import (chebyshev_basis, laplacian, max_eigenvalue,
 from .proximity import (ProximityConfig, build_proximity, ensure_connected,
                         from_networkx, pairwise_distances,
                         proximity_matrix, to_networkx)
+from .sharding import Shard, ShardPlan, chebyshev_hops, plan_shards
 
 __all__ = [
     "ProximityConfig", "proximity_matrix", "build_proximity",
@@ -33,4 +36,5 @@ __all__ = [
     "Coarsening", "coarsen_graph", "coarsen_adjacency",
     "heavy_edge_matching", "naive_coarsening",
     "dirichlet_energy", "dirichlet_energy_numpy",
+    "Shard", "ShardPlan", "plan_shards", "chebyshev_hops",
 ]

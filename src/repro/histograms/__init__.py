@@ -1,5 +1,7 @@
 """Histogram substrate: stochastic speeds, OD tensors, windowed samples."""
 
+from .blocksparse import (BlockSparseODTensor, BlockSparseWindowDataset,
+                          build_block_sparse_od_tensors)
 from .histogram import (HistogramSpec, is_valid_histogram,
                         normalize_histogram, rebin_histogram)
 from .tensor_builder import (ODTensorSequence, build_od_tensors,
@@ -13,4 +15,6 @@ __all__ = [
     "ODTensorSequence", "build_od_tensors", "ground_truth_tensors",
     "WindowDataset", "Split", "chronological_split",
     "TravelTimeDistribution", "travel_time_distribution",
+    "BlockSparseODTensor", "BlockSparseWindowDataset",
+    "build_block_sparse_od_tensors",
 ]

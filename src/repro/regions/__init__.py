@@ -1,7 +1,7 @@
 """Region substrate: planar geometry, city partitions, and city models."""
 
 from .city import (City, chengdu_like, grid_city, manhattan_like,
-                   toy_city)
+                   metro_like, toy_city)
 from .geometry import (BoundingBox, euclidean, point_in_polygon,
                        polygon_area, polygon_centroid)
 from .partition import GridPartition, Partition, SeededPartition
@@ -10,5 +10,6 @@ __all__ = [
     "BoundingBox", "euclidean",
     "polygon_area", "polygon_centroid", "point_in_polygon",
     "Partition", "GridPartition", "SeededPartition",
-    "City", "manhattan_like", "chengdu_like", "toy_city", "grid_city",
+    "City", "manhattan_like", "chengdu_like", "metro_like", "toy_city",
+    "grid_city",
 ]

@@ -89,6 +89,25 @@ def chengdu_like(seed: int = 11, n_regions: int = 79) -> City:
                 heterogeneity=0.55)
 
 
+def metro_like(seed: int = 21, n_regions: int = 500) -> City:
+    """Metro-scale city for the block-sparse sharding path.
+
+    Ridesharing-scale OD forecasting needs hundreds to thousands of
+    regions (see docs/SHARDING.md); at that granularity most OD pairs
+    see no trips per interval, which is the regime the block-sparse
+    sharded execution targets.  The extent grows with the region count
+    so the per-region cell size stays city-like (~1.2 km across at the
+    500-region default).
+    """
+    rng = np.random.default_rng(seed)
+    extent = float(np.sqrt(n_regions) * 1.25)
+    box = BoundingBox(0.0, 0.0, extent, extent)
+    partition = SeededPartition.random(box, n_regions, rng,
+                                       lloyd_iterations=2)
+    return City(name="metro", partition=partition, box=box,
+                heterogeneity=0.5)
+
+
 def toy_city(seed: int = 3, n_regions: int = 12,
              extent_km: float = 4.0) -> City:
     """Small city for unit tests and quick examples."""

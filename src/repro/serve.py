@@ -45,6 +45,7 @@ import multiprocessing
 import queue
 import threading
 import time
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -101,6 +102,12 @@ class ServeConfig:
     max_models: int = 8
     #: Response-cache entries; 0 disables the cache.
     cache_size: int = 256
+    #: When set, cached forecasts expire at the next wall-clock
+    #: boundary of this many minutes (the OD tensor interval clock):
+    #: a forecast cached at 10:07 with 15-minute intervals dies at
+    #: 10:15, when the next interval's data can first arrive.  None
+    #: keeps entries until LRU eviction (the historical behaviour).
+    cache_interval_minutes: Optional[float] = None
     #: Seconds :meth:`ForecastService.submit` waits to coalesce
     #: concurrent requests into one batched forward.
     batch_window: float = 0.002
@@ -122,6 +129,9 @@ class ServeConfig:
             raise ValueError("max_models must be >= 1")
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if self.cache_interval_minutes is not None \
+                and self.cache_interval_minutes <= 0:
+            raise ValueError("cache_interval_minutes must be positive")
 
 
 class ModelUnavailableError(RuntimeError):
@@ -191,8 +201,7 @@ class ModelRegistry:
                  telemetry: TelemetrySink = None):
         self.config = config or ServeConfig()
         self.telemetry = telemetry
-        self._registered: Dict[ModelKey, Tuple[Path, Callable[[], Module]]]\
-            = {}
+        self._registered: Dict[ModelKey, tuple] = {}
         self._loaded: "OrderedDict[ModelKey, LoadedModel]" = OrderedDict()
         self.loads = 0
         self.reloads = 0
@@ -200,10 +209,16 @@ class ModelRegistry:
         self.errors = 0
 
     def register(self, key: ModelKey, checkpoint_path,
-                 builder: Callable[[], Module]) -> None:
+                 builder: Callable[[], Module],
+                 warm: Optional[Tuple[int, int]] = None) -> None:
         """Announce a deployment.  Re-registering a key drops any loaded
-        instance (the next request reloads from the new path)."""
-        self._registered[key] = (Path(checkpoint_path), builder)
+        instance (the next request reloads from the new path).
+
+        ``warm=(s, horizon)`` captures the inference tape at load and
+        hot-reload time with an all-zeros ``(1, s, N, N', K)`` history,
+        so the first real request replays a warm tape instead of paying
+        the capture cost (BENCH_SERVE.json's cold-capture p99)."""
+        self._registered[key] = (Path(checkpoint_path), builder, warm)
         self._loaded.pop(key, None)
 
     def keys(self) -> List[ModelKey]:
@@ -225,7 +240,7 @@ class ModelRegistry:
         entry = self._registered.get(key)
         if entry is None:
             raise ModelUnavailableError(key, "not registered")
-        path, builder = entry
+        path, builder, warm = entry
         try:
             fingerprint = self._fingerprint(path)
         except OSError as exc:
@@ -243,7 +258,7 @@ class ModelRegistry:
         # Drop first: between here and a successful load there is no
         # instance, so a corrupt rewrite can never serve stale weights.
         self._loaded.pop(key, None)
-        loaded = self._load(key, path, builder, fingerprint, reload)
+        loaded = self._load(key, path, builder, fingerprint, reload, warm)
         self._loaded[key] = loaded
         while len(self._loaded) > self.config.max_models:
             evicted, _ = self._loaded.popitem(last=False)
@@ -252,7 +267,8 @@ class ModelRegistry:
         return loaded
 
     def _load(self, key: ModelKey, path: Path, builder, fingerprint,
-              reload: bool) -> LoadedModel:
+              reload: bool,
+              warm: Optional[Tuple[int, int]] = None) -> LoadedModel:
         start = time.perf_counter()
         try:
             model = builder()
@@ -270,6 +286,8 @@ class ModelRegistry:
         if self.config.engine != "eager":
             engine = InferenceEngine(
                 model, lower=(self.config.engine == "lowered"))
+            if warm is not None:
+                self._warm(key, model, engine, warm)
         self.loads += 1
         self.reloads += int(reload)
         emit(self.telemetry, "model_reload" if reload else "model_load",
@@ -277,6 +295,28 @@ class ModelRegistry:
              seconds=time.perf_counter() - start)
         return LoadedModel(key=key, model=model, engine=engine,
                            epoch=checkpoint.epoch, fingerprint=fingerprint)
+
+    def _warm(self, key: ModelKey, model: Module,
+              engine: InferenceEngine,
+              warm: Tuple[int, int]) -> None:
+        """Capture the inference tape with a synthetic all-zeros window.
+
+        Best-effort: a model whose architecture the zeros window does
+        not fit must still load and serve, so failures are reported as
+        telemetry, never raised."""
+        s, horizon = warm
+        start = time.perf_counter()
+        try:
+            shape = (1, int(s), model.n_origins, model.n_destinations,
+                     model.n_buckets)
+            engine.predict(np.zeros(shape), int(horizon))
+        except Exception as exc:
+            emit(self.telemetry, "model_warm_error", key=str(key),
+                 error=f"{type(exc).__name__}: {exc}")
+            return
+        emit(self.telemetry, "model_warm", key=str(key), s=int(s),
+             horizon=int(horizon),
+             seconds=time.perf_counter() - start)
 
     def stats(self) -> Dict[str, int]:
         return {"registered": len(self._registered),
@@ -294,30 +334,60 @@ class ResponseCache:
     Stores and returns *copies*: a cached answer must stay bit-identical
     to the forward that produced it even if a caller mutates what it was
     handed.
+
+    With ``interval_minutes`` set, entries carry an expiry aligned to
+    the OD tensor interval clock: every entry cached inside one
+    wall-clock interval dies at that interval's *end* — the first
+    moment the next interval's data can exist and make the answer
+    stale.  ``clock`` is injectable for tests (defaults to
+    :func:`time.time`).
     """
 
-    def __init__(self, max_entries: int = 256):
+    def __init__(self, max_entries: int = 256,
+                 interval_minutes: Optional[float] = None,
+                 clock: Callable[[], float] = time.time):
+        if interval_minutes is not None and interval_minutes <= 0:
+            raise ValueError("interval_minutes must be positive")
         self.max_entries = int(max_entries)
-        self._entries: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.interval_minutes = interval_minutes
+        self.clock = clock
+        self._entries: \
+            "OrderedDict[tuple, Tuple[Optional[float], np.ndarray]]" \
+            = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.expired = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _expiry(self) -> Optional[float]:
+        """End of the current wall-clock interval, or None (no TTL)."""
+        if self.interval_minutes is None:
+            return None
+        period = self.interval_minutes * 60.0
+        return (int(self.clock() // period) + 1) * period
 
     def get(self, key: tuple) -> Optional[np.ndarray]:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
             return None
+        expires_at, prediction = entry
+        if expires_at is not None and self.clock() >= expires_at:
+            del self._entries[key]
+            self.expired += 1
+            self.misses += 1
+            return None
         self._entries.move_to_end(key)
         self.hits += 1
-        return entry.copy()
+        return prediction.copy()
 
     def put(self, key: tuple, prediction: np.ndarray) -> None:
         if self.max_entries <= 0:
             return
-        self._entries[key] = np.array(prediction, copy=True)
+        self._entries[key] = (self._expiry(),
+                              np.array(prediction, copy=True))
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
@@ -334,7 +404,7 @@ class ResponseCache:
 
     def stats(self) -> Dict[str, int]:
         return {"entries": len(self._entries), "hits": self.hits,
-                "misses": self.misses}
+                "misses": self.misses, "expired": self.expired}
 
 
 # ----------------------------------------------------------------------
@@ -403,7 +473,9 @@ class ForecastService:
         self.telemetry = telemetry
         self.policy = policy
         self.registry = registry or ModelRegistry(self.config, telemetry)
-        self.cache = ResponseCache(self.config.cache_size)
+        self.cache = ResponseCache(
+            self.config.cache_size,
+            interval_minutes=self.config.cache_interval_minutes)
         self.requests = 0
         self._versions: Dict[ModelKey, tuple] = {}
         self._last: Dict[Tuple[ModelKey, int], np.ndarray] = {}
@@ -412,8 +484,9 @@ class ForecastService:
 
     # ------------------------------------------------------------------
     def register(self, key: ModelKey, checkpoint_path,
-                 builder: Callable[[], Module]) -> None:
-        self.registry.register(key, checkpoint_path, builder)
+                 builder: Callable[[], Module],
+                 warm: Optional[Tuple[int, int]] = None) -> None:
+        self.registry.register(key, checkpoint_path, builder, warm=warm)
 
     def forecast(self, key: ModelKey, sequence: ODTensorSequence, s: int,
                  horizon: int) -> np.ndarray:
@@ -672,9 +745,14 @@ class ForecastWorkerPool:
     Reuses the fork-pool fault-isolation pattern of
     ``experiments.runner``: each worker is a forked process owning a
     full :class:`ForecastService` (built by ``service_factory``), fed
-    over a pipe.  Requests are dispatched round-robin with only the
-    last ``s`` intervals of the sequence shipped (O(s) payload).  A
-    request that
+    over a pipe.  With ``affinity`` on (the default), requests for one
+    model key always land on ``crc32(key) % n_workers``, so each
+    worker's registry, inference tape, and response cache stay hot for
+    the keys it owns instead of every worker cold-loading every model;
+    retries step to the next slot so a wedged owner cannot blackhole
+    its keys.  ``affinity=False`` restores round-robin dispatch.  Only
+    the last ``s`` intervals of the sequence are shipped (O(s)
+    payload).  A request that
     exceeds ``request_timeout`` or whose worker dies mid-flight gets the
     worker terminated and respawned and the request retried; when
     retries are exhausted the parent's stale-response mirror answers,
@@ -686,6 +764,7 @@ class ForecastWorkerPool:
                  n_workers: int = 2,
                  request_timeout: Optional[float] = 30.0,
                  retries: int = 1, stale_ok: bool = True,
+                 affinity: bool = True,
                  telemetry: TelemetrySink = None):
         if "fork" not in multiprocessing.get_all_start_methods():
             raise RuntimeError(
@@ -697,6 +776,7 @@ class ForecastWorkerPool:
         self.request_timeout = request_timeout
         self.retries = int(retries)
         self.stale_ok = bool(stale_ok)
+        self.affinity = bool(affinity)
         self.telemetry = telemetry
         self.deaths = 0
         self.timeouts = 0
@@ -735,15 +815,30 @@ class ForecastWorkerPool:
         self._spawn(slot)
 
     # ------------------------------------------------------------------
+    def _slot_for(self, key: ModelKey, attempt: int) -> int:
+        """Worker slot for ``key`` on the given retry attempt.
+
+        crc32 (not ``hash``) so the mapping is stable across processes
+        and runs — per-interpreter string-hash randomisation would
+        reshuffle key ownership on every restart and defeat the warm
+        caches affinity exists to protect.  Retries walk to the
+        neighbouring slots."""
+        n = len(self._workers)
+        if not self.affinity:       # round-robin advances per attempt
+            slot = self._next
+            self._next = (self._next + 1) % n
+            return slot
+        base = zlib.crc32(str(key).encode()) % n
+        return (base + attempt) % n
+
     def forecast(self, request: ForecastRequest) -> ForecastResponse:
         """Serve one request through the pool (degrading, not raising)."""
         if self._closed:
             raise RuntimeError("pool is closed")
         request = request.tail()    # bound the pipe payload to O(s)
         last_error = "no workers available"
-        for _ in range(1 + self.retries):
-            slot = self._next
-            self._next = (self._next + 1) % len(self._workers)
+        for attempt in range(1 + self.retries):
+            slot = self._slot_for(request.key, attempt)
             proc, conn = self._workers[slot]
             if not proc.is_alive():
                 self._kill(slot, "found dead")

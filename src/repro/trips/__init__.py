@@ -1,7 +1,7 @@
 """Trip-data substrate: latent traffic fields, trip & GPS generation."""
 
-from .datasets import (CityDataset, chengdu_like_dataset, nyc_like_dataset,
-                       toy_dataset)
+from .datasets import (CityDataset, chengdu_like_dataset, metro_dataset,
+                       nyc_like_dataset, toy_dataset)
 from .diagnostics import HeadroomReport, oracle_headroom
 from .generator import (DemandConfig, TripGenerator, daily_demand_profile,
                         zipf_popularity)
@@ -16,6 +16,7 @@ __all__ = [
     "TripGenerator", "DemandConfig", "zipf_popularity",
     "daily_demand_profile",
     "GpsRecords", "GpsSimulator", "extract_trips",
-    "CityDataset", "nyc_like_dataset", "chengdu_like_dataset", "toy_dataset",
+    "CityDataset", "nyc_like_dataset", "chengdu_like_dataset",
+    "metro_dataset", "toy_dataset",
     "HeadroomReport", "oracle_headroom",
 ]

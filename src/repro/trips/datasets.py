@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..regions.city import City, chengdu_like, manhattan_like, toy_city
+from ..regions.city import (City, chengdu_like, manhattan_like,
+                            metro_like, toy_city)
 from .generator import DemandConfig, TripGenerator
 from .gps import GpsSimulator, extract_trips
 from .traffic import LatentTrafficField
@@ -56,6 +57,27 @@ def chengdu_like_dataset(n_days: int = 14,
     if via_gps:
         records = GpsSimulator(n_taxis=200, seed=seed + 3).simulate(trips)
         trips = extract_trips(records)
+    return CityDataset(city=city, field=field, trips=trips)
+
+
+def metro_dataset(n_regions: int = 500, n_intervals: int = 10,
+                  trips_per_interval: float = 4000.0,
+                  seed: int = 21) -> CityDataset:
+    """Metro-scale dataset for the block-sparse sharded path.
+
+    Hundreds of regions, a bounded number of 15-minute intervals
+    (generation is limited to ``n_intervals`` so a 500+-region smoke
+    run stays cheap).  Even thousands of trips per interval leave the
+    vast majority of the ``N²`` OD slices empty — the sparsity the
+    zero-slice collapse in :mod:`repro.core.shardexec` exploits and
+    :class:`repro.histograms.blocksparse.BlockSparseODTensor` stores.
+    """
+    city = metro_like(seed=seed, n_regions=n_regions)
+    field = LatentTrafficField(city, n_days=1, seed=seed + 1)
+    generator = TripGenerator(
+        field, DemandConfig(trips_per_interval=trips_per_interval),
+        seed=seed + 2)
+    trips = generator.generate(last_interval=n_intervals)
     return CityDataset(city=city, field=field, trips=trips)
 
 

@@ -91,6 +91,36 @@ class TestBenchmarkHygiene:
         assert "forecast_latest" in source, (
             "the parity gate must compare against forecast_latest")
 
+    def test_shard_gate_wired_into_sweep(self):
+        """The block-sparse sharding gate (exact-mode bit-parity with
+        dense, metro-scale budgeted epoch) must run in the sweep."""
+        script = (BENCH_DIR.parent / "run_benchmarks.sh").read_text()
+        assert "shard_smoke.py" in script
+        gate = BENCH_DIR / "shard_smoke.py"
+        assert gate.exists()
+        assert ast.get_docstring(ast.parse(gate.read_text()))
+
+    def test_shard_smoke_reports_required_sections(self):
+        """BENCH_SHARD.json must keep its parity/metro sections and the
+        fields the scaling claims rest on."""
+        source = (BENCH_DIR / "shard_smoke.py").read_text()
+        tree = ast.parse(source)
+        report_keys = {
+            key.value
+            for node in ast.walk(tree) if isinstance(node, ast.Dict)
+            for key in node.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        }
+        for section in ("parity", "metro", "storage", "forward", "epoch"):
+            assert section in report_keys, (
+                f"shard smoke report lost its '{section}' section")
+        for field in ("losses_bit_identical", "weights_bit_identical",
+                      "rng_bit_identical", "max_shard_peak_bytes",
+                      "budget_bytes", "dense_seconds", "sharded_seconds",
+                      "occupancy", "serve_seconds"):
+            assert field in source, (
+                f"shard smoke report lost its '{field}' field")
+
     def test_microbench_reports_every_engine_section(self):
         """BENCH_AUTODIFF.json must record all engine comparisons: the
         eager/replay section, the lowered-plan section (with fusion and

@@ -148,7 +148,8 @@ class TestResponseCache:
         assert cache.get(("m", "0", 1)) is None          # evicted
         np.testing.assert_array_equal(cache.get(("m", "2", 1)),
                                       np.full(2, 2.0))
-        assert cache.stats() == {"entries": 2, "hits": 1, "misses": 1}
+        assert cache.stats() == {"entries": 2, "hits": 1, "misses": 1,
+                                 "expired": 0}
 
     def test_returns_copies_both_ways(self):
         cache = ResponseCache()
@@ -453,3 +454,156 @@ class TestResponseDataclass:
         good = ForecastResponse(ModelKey("a"), H, np.zeros(1))
         bad = ForecastResponse(ModelKey("a"), H, None, error="boom")
         assert good.ok and not bad.ok
+
+
+class TestResponseCacheTTL:
+    """Interval-aligned expiry: entries die at the 15-minute boundary
+    where the next interval's data can first exist."""
+
+    def _cache(self, start=1000.0, minutes=15.0):
+        now = [start]
+        cache = ResponseCache(interval_minutes=minutes,
+                              clock=lambda: now[0])
+        return cache, now
+
+    def test_hit_before_boundary_expired_after(self):
+        cache, now = self._cache(start=1000.0)    # boundary at 1800
+        cache.put(("m", "sig", 1), np.ones(2))
+        now[0] = 1799.9
+        assert cache.get(("m", "sig", 1)) is not None
+        now[0] = 1800.0
+        assert cache.get(("m", "sig", 1)) is None
+        stats = cache.stats()
+        assert stats["expired"] == 1
+        assert stats["entries"] == 0              # expired entry removed
+
+    def test_expiry_aligned_to_interval_not_sliding(self):
+        """Two entries cached at different moments of one interval die
+        at the same boundary — the clock is the data's interval clock,
+        not a per-entry TTL."""
+        cache, now = self._cache(start=950.0)     # boundary at 1800
+        cache.put(("m", "early", 1), np.ones(2))
+        now[0] = 1750.0
+        cache.put(("m", "late", 1), np.ones(2))
+        now[0] = 1799.0
+        assert cache.get(("m", "early", 1)) is not None
+        assert cache.get(("m", "late", 1)) is not None
+        now[0] = 1800.5
+        assert cache.get(("m", "early", 1)) is None
+        assert cache.get(("m", "late", 1)) is None
+        assert cache.stats()["expired"] == 2
+
+    def test_no_interval_means_no_expiry(self):
+        cache = ResponseCache()                   # default: no TTL
+        cache.put(("m", "sig", 1), np.ones(2))
+        assert cache.get(("m", "sig", 1)) is not None
+        assert cache.stats()["expired"] == 0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval_minutes"):
+            ResponseCache(interval_minutes=0)
+        with pytest.raises(ValueError, match="cache_interval_minutes"):
+            ServeConfig(cache_interval_minutes=-1.0)
+
+    def test_service_plumbs_interval_to_cache(self, served):
+        service = _service(served, ModelKey("toy"),
+                           cache_interval_minutes=15.0)
+        assert service.cache.interval_minutes == 15.0
+        service.close()
+
+
+class TestWorkerAffinity:
+    """Per-key worker affinity: one key's requests land on one worker
+    so its registry/tape/cache stay hot for the keys it owns."""
+
+    def _pool(self, n_workers=4, affinity=True):
+        pool = ForecastWorkerPool.__new__(ForecastWorkerPool)
+        pool.affinity = affinity
+        pool._workers = [None] * n_workers
+        pool._next = 0
+        return pool
+
+    def test_slot_stable_per_key_and_process_independent(self):
+        import zlib
+        pool = self._pool()
+        for key in (ModelKey("nyc"), ModelKey("cd", "weekday")):
+            expected = zlib.crc32(str(key).encode()) % 4
+            assert all(pool._slot_for(key, 0) == expected
+                       for _ in range(5))
+
+    def test_retries_walk_to_neighbouring_slots(self):
+        pool = self._pool()
+        key = ModelKey("nyc")
+        base = pool._slot_for(key, 0)
+        assert pool._slot_for(key, 1) == (base + 1) % 4
+        assert pool._slot_for(key, 2) == (base + 2) % 4
+
+    def test_affinity_off_restores_round_robin(self):
+        pool = self._pool(n_workers=3, affinity=False)
+        key = ModelKey("nyc")
+        assert [pool._slot_for(key, 0) for _ in range(4)] == [0, 1, 2, 0]
+
+    def test_pool_with_affinity_serves_correctly(self, served):
+        key = ModelKey("toy")
+        path, builder = served.path, served.builder
+
+        def service_factory():
+            service = ForecastService(ServeConfig())
+            service.register(key, path, builder)
+            return service
+
+        sequence = served.data.sequence
+        direct = forecast_latest(served.forecaster, sequence, S, H)
+        with ForecastWorkerPool(service_factory, n_workers=2) as pool:
+            assert pool.affinity
+            slots = {pool._slot_for(key, 0) for _ in range(4)}
+            assert len(slots) == 1                # one owner worker
+            response = pool.forecast(ForecastRequest(key, sequence, S, H))
+            assert response.ok
+            np.testing.assert_array_equal(response.prediction, direct)
+
+
+class TestModelWarmup:
+    def test_warm_captures_tape_at_load(self, served):
+        events = []
+        service = ForecastService(
+            ServeConfig(engine="replay"),
+            telemetry=lambda event, fields: events.append(event))
+        key = ModelKey("toy", "warm")
+        service.register(key, served.path, served.builder, warm=(S, H))
+        loaded = service.registry.get(key)
+        assert "model_warm" in events
+        assert loaded.engine.captures == 1
+        # A real request with the warm shape replays the warm tape.
+        prediction = service.forecast(key, served.data.sequence, S, H)
+        direct = forecast_latest(served.forecaster,
+                                 served.data.sequence, S, H)
+        np.testing.assert_array_equal(prediction, direct)
+        assert loaded.engine.captures == 1
+        assert loaded.engine.replays >= 1
+        service.close()
+
+    def test_warm_skipped_on_eager_engine(self, served):
+        events = []
+        service = ForecastService(
+            ServeConfig(engine="eager"),
+            telemetry=lambda event, fields: events.append(event))
+        key = ModelKey("toy", "eager")
+        service.register(key, served.path, served.builder, warm=(S, H))
+        loaded = service.registry.get(key)
+        assert loaded.engine is None
+        assert "model_warm" not in events
+        service.close()
+
+    def test_failed_warm_never_blocks_the_load(self, served):
+        events = []
+        service = ForecastService(
+            ServeConfig(engine="replay"),
+            telemetry=lambda event, fields: events.append(event))
+        key = ModelKey("toy", "badwarm")
+        service.register(key, served.path, served.builder, warm=(-1, H))
+        loaded = service.registry.get(key)     # must not raise
+        assert loaded.model is not None
+        assert "model_warm_error" in events
+        assert "model_warm" not in events
+        service.close()
