@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Forecast-serving regression gate for run_benchmarks.sh.
 
-Three checks at smoke scale (see docs/SERVING.md), results recorded in
+Five checks at smoke scale (see docs/SERVING.md), results recorded in
 ``BENCH_SERVE.json`` at the repo root:
 
 1. **Parity** — a forecast served through the full stack (registry ->
@@ -17,6 +17,19 @@ Three checks at smoke scale (see docs/SERVING.md), results recorded in
 3. **Throughput floor** — a mixed request stream (repeats + new
    windows) must sustain at least ``MIN_FORECASTS_PER_SEC``
    forecasts/sec; p50/p99 latency and forecasts/sec are recorded.
+   ``p99_ms`` covers the whole stream (including each window's
+   first-capture request); ``p99_warm_ms`` excludes those captures and
+   is the steady-state number to compare across commits.
+4. **Transport floor** — a worker-pool round trip over the
+   shared-memory ring must be at least ``MIN_SHM_SPEEDUP``x faster
+   than the same round trip over the pickled pipe at a metro-size
+   payload (``TRANSPORT_REGIONS`` regions), and the two transports
+   must return bit-identical forecasts.  No /dev/shm segment may
+   survive pool close.
+5. **Shedding** — under synthetic overload (one worker, bounded
+   queue, deadlines shorter than the backlog) the pool must shed at
+   least one request with :class:`ShedError` *and* still serve at
+   least one, then answer normally once the burst passes.
 
 Exits non-zero on any failure so the benchmark sweep fails loudly.
 
@@ -38,8 +51,12 @@ from repro import prepare, toy_dataset
 from repro.experiments.methods import MethodBudget, make_bf
 from repro.forecast import forecast_latest
 from repro.persistence import save_checkpoint
-from repro.serve import (ForecastRequest, ForecastService, ModelKey,
-                         ServeConfig)
+from repro.histograms.histogram import HistogramSpec
+from repro.histograms.tensor_builder import ODTensorSequence
+from repro.serve import (ForecastRequest, ForecastResponse,
+                         ForecastService, ForecastWorkerPool, ModelKey,
+                         ServeConfig, ShedError)
+from repro.serve_shm import leaked_segments, slot_bytes_for
 
 S, H = 4, 2
 N_REQUESTS = 60
@@ -47,6 +64,12 @@ N_TAILS = 6                      # distinct "nows" cycled in the stream
 TIMING_REPEATS = 30
 MIN_CACHE_SPEEDUP = 5.0
 MIN_FORECASTS_PER_SEC = 25.0
+TRANSPORT_REGIONS = 500          # metro-size payload for the shm floor
+TRANSPORT_S, TRANSPORT_H = 2, 1
+TRANSPORT_REPEATS = 5
+MIN_SHM_SPEEDUP = 2.0
+OVERLOAD_THREADS = 8
+OVERLOAD_MAX_INFLIGHT = 2
 REPORT = Path(__file__).parent.parent / "BENCH_SERVE.json"
 
 
@@ -136,14 +159,23 @@ def check_throughput(data, budget, path, key):
     stats = service.stats()
     service.close()
     total = sum(latencies)
-    ms = sorted(1e3 * x for x in latencies)
-    pct = lambda q: ms[min(len(ms) - 1, int(q * len(ms)))]  # noqa: E731
+
+    def pct(samples, q):
+        ms = sorted(1e3 * x for x in samples)
+        return ms[min(len(ms) - 1, int(q * len(ms)))]
+
+    # The first request for each distinct window captures an inference
+    # tape; folding that one-off cost into p99 hides steady-state
+    # regressions behind capture noise (and vice versa), so the warm
+    # percentile excludes the first N_TAILS capture requests.
+    warm = latencies[N_TAILS:]
     section = {
         "n_requests": N_REQUESTS,
         "distinct_windows": N_TAILS,
         "forecasts_per_sec": N_REQUESTS / total,
-        "p50_ms": pct(0.50),
-        "p99_ms": pct(0.99),
+        "p50_ms": pct(latencies, 0.50),
+        "p99_ms": pct(latencies, 0.99),
+        "p99_warm_ms": pct(warm, 0.99),
         "floor_per_sec": MIN_FORECASTS_PER_SEC,
         "cache": stats["cache"],
         "engine": stats["engines"].get(str(key), {}),
@@ -153,6 +185,193 @@ def check_throughput(data, budget, path, key):
         failures.append(
             f"throughput {section['forecasts_per_sec']:.1f}/s below the "
             f"{MIN_FORECASTS_PER_SEC}/s floor")
+    return section, failures
+
+
+
+def _metro_sequence(n_regions=TRANSPORT_REGIONS):
+    """A synthetic metro-size window: (s, N, N, K) normalized
+    histograms with every pair observed.  Contract validation is
+    skipped (``_validated=True``) — the payload exercises the
+    transport, not the data contract."""
+    spec = HistogramSpec.paper_default()
+    n, k = n_regions, spec.n_buckets
+    rng = np.random.default_rng(0)
+    tensors = rng.random((TRANSPORT_S, n, n, k))
+    tensors /= tensors.sum(axis=-1, keepdims=True)
+    mask = np.ones((TRANSPORT_S, n, n), dtype=bool)
+    counts = np.full((TRANSPORT_S, n, n), 3.0)
+    return ODTensorSequence(tensors=tensors, mask=mask, counts=counts,
+                            spec=spec, interval_minutes=30.0,
+                            _validated=True)
+
+
+class _EchoService:
+    """A deterministic, content-dependent stand-in forward: the
+    response depends on every request byte, so a bitwise-equal answer
+    proves the transport moved the payload intact — without fitting a
+    500-region model inside a smoke gate."""
+
+    def forecast_one(self, request):
+        prediction = (request.sequence.tensors[:request.horizon]
+                      * 2.0 + 0.125)
+        return ForecastResponse(request.key, request.horizon, prediction)
+
+
+class _SlowEchoService(_EchoService):
+    """The overload victim: every forward costs a fixed wall-time."""
+
+    FORWARD_SECONDS = 0.05
+
+    def forecast_one(self, request):
+        time.sleep(self.FORWARD_SECONDS)
+        return super().forecast_one(request)
+
+
+def check_transport():
+    """shm vs pickled-pipe round trip at a metro payload, bitwise."""
+    sequence = _metro_sequence()
+    key = ModelKey("metro", "transport")
+    request = ForecastRequest(key, sequence, TRANSPORT_S, TRANSPORT_H)
+    expected = sequence.tensors[:TRANSPORT_H] * 2.0 + 0.125
+    spec = sequence.spec
+    n, k = TRANSPORT_REGIONS, spec.n_buckets
+    # Size the slot from the larger direction (the request window).
+    slot_bytes = slot_bytes_for(
+        [(TRANSPORT_S, n, n, k), (TRANSPORT_S, n, n),
+         (TRANSPORT_S, n, n)],
+        [np.float64, np.bool_, np.float64])
+
+    timings, segments = {}, []
+    bit_identical = True
+    failures = []
+    for transport in ("shm", "pickle"):
+        pool = ForecastWorkerPool(_EchoService, n_workers=1,
+                                  transport=transport,
+                                  slot_bytes=slot_bytes)
+        segments += pool.segment_names()
+        try:
+            best = float("inf")
+            for repeat in range(TRANSPORT_REPEATS + 1):
+                start = time.perf_counter()
+                response = pool.forecast(request)
+                elapsed = time.perf_counter() - start
+                if repeat > 0:               # first trip is warm-up
+                    best = min(best, elapsed)
+                if not (response.ok
+                        and np.array_equal(response.prediction, expected)):
+                    bit_identical = False
+            if pool.transport_fallbacks:
+                failures.append(
+                    f"{transport} pool took {pool.transport_fallbacks} "
+                    f"transport fallbacks at a payload sized to fit")
+        finally:
+            pool.close()
+        timings[transport] = best
+    leaked = leaked_segments(segments)
+
+    payload_mb = (sequence.tensors.nbytes + sequence.mask.nbytes
+                  + sequence.counts.nbytes) / 2**20
+    speedup = timings["pickle"] / timings["shm"]
+    section = {
+        "regions": TRANSPORT_REGIONS,
+        "payload_mb": payload_mb,
+        "slot_bytes": slot_bytes,
+        "shm_ms": timings["shm"] * 1e3,
+        "pickle_ms": timings["pickle"] * 1e3,
+        "speedup": speedup,
+        "floor": MIN_SHM_SPEEDUP,
+        "bit_identical": bit_identical,
+        "leaked_segments": len(leaked),
+    }
+    if not bit_identical:
+        failures.append("shm and pickle transports are not bit-identical")
+    if speedup < MIN_SHM_SPEEDUP:
+        failures.append(
+            f"shm round trip only {speedup:.2f}x faster than pickle "
+            f"({timings['shm'] * 1e3:.1f} vs "
+            f"{timings['pickle'] * 1e3:.1f} ms at {payload_mb:.0f} MB), "
+            f"need >= {MIN_SHM_SPEEDUP}x")
+    if leaked:
+        failures.append(f"leaked /dev/shm segments after close: {leaked}")
+    return section, failures
+
+
+def check_shedding():
+    """Synthetic overload: a thread burst against one slow worker with
+    a bounded queue and deadlines shorter than the backlog must shed
+    fast (not time out slowly) yet keep serving."""
+    import threading
+
+    # Overload is about queueing, not payload size: a small window
+    # keeps the forward cost (the sleep) the only latency term.
+    sequence = _metro_sequence(n_regions=16)
+    key = ModelKey("metro", "overload")
+    forward_s = _SlowEchoService.FORWARD_SECONDS
+    pool = ForecastWorkerPool(_SlowEchoService, n_workers=1,
+                              max_inflight=OVERLOAD_MAX_INFLIGHT)
+    failures = []
+    try:
+        prime = ForecastRequest(key, sequence, TRANSPORT_S, TRANSPORT_H)
+        assert pool.forecast(prime).ok       # prime the latency EWMA
+
+        served, shed, shed_ms = [], [], []
+        lock = threading.Lock()
+
+        def fire():
+            # Room for ~2 queued forwards: the admitted pair meets
+            # it, the rest shed on queue depth or EWMA feasibility.
+            request = ForecastRequest(
+                key, sequence, TRANSPORT_S, TRANSPORT_H,
+                deadline=time.monotonic() + 2.4 * forward_s)
+            start = time.perf_counter()
+            try:
+                response = pool.forecast(request)
+                with lock:
+                    served.append(response.ok)
+            except ShedError as error:
+                with lock:
+                    shed.append(error.reason)
+                    shed_ms.append(1e3 * (time.perf_counter() - start))
+
+        threads = [threading.Thread(target=fire)
+                   for _ in range(OVERLOAD_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        healthy_after = pool.forecast(prime).ok
+        stats = pool.stats()
+        section = {
+            "n_workers": 1,
+            "max_inflight": OVERLOAD_MAX_INFLIGHT,
+            "offered": OVERLOAD_THREADS,
+            "served": len(served),
+            "shed": len(shed),
+            "shed_full": stats["queue"]["shed_full"],
+            "shed_deadline": stats["queue"]["shed_deadline"],
+            "max_shed_ms": max(shed_ms, default=None),
+            "ewma_ms": stats["queue"]["ewma_ms"],
+            "healthy_after": healthy_after,
+        }
+        if not shed:
+            failures.append("overload burst shed nothing — admission "
+                            "control is not engaging")
+        if not served or not all(served):
+            failures.append("overload burst served nothing — shedding "
+                            "must thin the queue, not close the door")
+        if shed_ms and max(shed_ms) > 1e3 * forward_s:
+            failures.append(
+                f"sheds took up to {max(shed_ms):.1f}ms — slower than "
+                f"the {1e3 * forward_s:.0f}ms forward they avoid")
+        if not healthy_after:
+            failures.append("pool unhealthy after the burst")
+        if stats["deaths"] or stats["timeouts"]:
+            failures.append("overload killed or timed out a worker — "
+                            "sheds must not touch the ladder")
+    finally:
+        pool.close()
     return section, failures
 
 
@@ -172,9 +391,14 @@ def main() -> int:
     throughput, throughput_failures = check_throughput(data, budget, path,
                                                        key)
     failures += throughput_failures
+    transport, transport_failures = check_transport()
+    failures += transport_failures
+    shedding, shedding_failures = check_shedding()
+    failures += shedding_failures
 
     report = {"scale": "smoke", "s": S, "h": H, "parity": parity,
-              "cache": cache, "throughput": throughput}
+              "cache": cache, "throughput": throughput,
+              "transport": transport, "shedding": shedding}
     REPORT.write_text(json.dumps(report, indent=2, sort_keys=False)
                       + "\n")
     if failures:
@@ -184,7 +408,11 @@ def main() -> int:
           f"forecast_latest, cache hit {cache['speedup']:.0f}x vs cold, "
           f"{throughput['forecasts_per_sec']:,.0f} forecasts/s, "
           f"p50 {throughput['p50_ms']:.2f}ms / "
-          f"p99 {throughput['p99_ms']:.2f}ms -> {REPORT.name})")
+          f"warm p99 {throughput['p99_warm_ms']:.2f}ms, "
+          f"shm {transport['speedup']:.1f}x vs pickle at "
+          f"{transport['payload_mb']:.0f}MB, "
+          f"{shedding['shed']}/{shedding['offered']} shed under "
+          f"overload -> {REPORT.name})")
     return 0
 
 

@@ -32,8 +32,12 @@ python3 benchmarks/lowered_smoke.py || exit 1
 # Serving gate: forecasts served through the registry/cache/inference
 # tapes must stay bit-identical to forecast_latest, the response cache
 # must stay >= 5x faster than a cold forward, and the request stream
-# must hold its throughput floor.  Writes BENCH_SERVE.json at the repo
-# root (see docs/SERVING.md).
+# must hold its throughput floor.  Also gates the data plane: a worker
+# round trip over the zero-copy shm ring must stay >= 2x faster than
+# the pickled pipe at a 500-region payload (bit-identical answers, no
+# leaked /dev/shm segments), and a synthetic overload burst must shed
+# fast with ShedError while still serving.  Writes BENCH_SERVE.json at
+# the repo root (see docs/SERVING.md).
 python3 benchmarks/serve_smoke.py || exit 1
 
 # Sharding gate: a short AF fit under exact-mode sharded execution must

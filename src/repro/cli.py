@@ -218,6 +218,7 @@ def cmd_serve(args) -> int:
     if args.workers > 0:
         pool = ForecastWorkerPool(factory, n_workers=args.workers,
                                   request_timeout=args.request_timeout,
+                                  transport=args.transport,
                                   telemetry=telemetry)
         run = lambda req: pool.forecast(req)          # noqa: E731
     else:
@@ -349,6 +350,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "worker processes (0 = in-process)")
     serve.add_argument("--request-timeout", type=float, default=30.0,
                        help="per-request worker timeout in seconds")
+    serve.add_argument("--transport", default="shm",
+                       choices=("shm", "pickle"),
+                       help="worker payload transport: zero-copy "
+                            "shared-memory ring (default, falls back "
+                            "to pickle per oversized payload) or the "
+                            "pickled pipe (see docs/SERVING.md)")
     serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                        help="where to write the demo checkpoint "
                             "(default: a temp dir)")

@@ -27,24 +27,37 @@ four layers on top of the :mod:`repro.forecast` facade:
    fault-isolation pattern of ``experiments.runner``): a request that
    hangs or kills its worker is timed out, the worker respawned, the
    request retried, and — when retries are exhausted — answered from
-   the parent's stale-response mirror, flagged ``degraded``.
+   the parent's stale-response mirror, flagged ``degraded``.  Request
+   windows and response histograms travel through a per-worker
+   shared-memory slot ring (:mod:`repro.serve_shm`) so the pipe carries
+   only tiny control frames, with automatic fallback to the pickled
+   transport when a payload exceeds the largest slot; admission is
+   deadline-aware — an overloaded worker queue or an unmeetable
+   ``ForecastRequest.deadline`` sheds the request with
+   :class:`~repro.serve_shm.ShedError` before any work is done.
 
-Degradation ladder (per request): fresh cache hit -> healthy forward ->
-retry on a respawned worker -> stale cached answer (``degraded=True``,
-``cache="stale"``) -> :class:`ModelUnavailableError`.
+Degradation ladder (per request, after admission): fresh cache hit ->
+healthy shm forward -> pickled-pipe fallback -> retry on a respawned
+worker (ring walk) -> stale cached answer (``degraded=True``,
+``cache="stale"``) -> :class:`ModelUnavailableError`.  Shedding is the
+fast-fail outside the ladder: it consumes no retry and serves no stale
+answer.
 
 See ``docs/SERVING.md`` for the operational guide and the telemetry
 event schema (``model_load/model_reload/model_evict/model_error/
-serve_request/worker_spawn/worker_death``).
+serve_request/worker_spawn/worker_death/serve_shed/transport_fallback/
+serve_queue_depth``).
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import multiprocessing
 import queue
 import threading
 import time
+import warnings
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, replace
@@ -59,6 +72,9 @@ from .contracts import ContractPolicy, ContractViolation, check_finite
 from .forecast import latest_history, tail_slice
 from .histograms.tensor_builder import ODTensorSequence
 from .persistence import load_checkpoint
+from .serve_shm import (AdmissionController, DEFAULT_SLOT_BYTES, ShedError,
+                        ShmRing, SlotOverflowError, TransportFallbackWarning,
+                        shared_memory_available)
 from .telemetry import TelemetrySink, emit
 
 __all__ = [
@@ -72,6 +88,8 @@ __all__ = [
     "ModelUnavailableError",
     "ResponseCache",
     "ServeConfig",
+    "ShedError",
+    "TransportFallbackWarning",
     "window_signature",
 ]
 
@@ -79,6 +97,12 @@ __all__ = [
 #: inference tapes entirely; "replay"/"lowered" wrap the model in an
 #: :class:`InferenceEngine`).
 SERVE_ENGINES = ("eager", "replay", "lowered")
+
+#: Data-plane transports for :class:`ForecastWorkerPool` ("shm" ships
+#: array bytes through a per-worker shared-memory slot ring and falls
+#: back per request when a payload does not fit; "pickle" forces the
+#: original pickled-pipe transport).
+SERVE_TRANSPORTS = ("shm", "pickle")
 
 
 @dataclass(frozen=True)
@@ -418,6 +442,13 @@ class ForecastRequest:
     sequence: ODTensorSequence
     s: int
     horizon: int
+    #: Absolute ``time.monotonic()`` seconds by which the caller needs
+    #: the answer.  None = no deadline.  The worker pool sheds the
+    #: request (:class:`~repro.serve_shm.ShedError`) when the deadline
+    #: has passed or cannot be met given the queue depth and the
+    #: observed per-forward latency EWMA; workers refuse to start a
+    #: forward whose deadline already expired in flight.
+    deadline: Optional[float] = None
 
     def tail(self) -> "ForecastRequest":
         """Same query over only the last ``s`` intervals — what a
@@ -714,28 +745,91 @@ class _MicroBatcher:
 # ----------------------------------------------------------------------
 # worker pool
 # ----------------------------------------------------------------------
-def _worker_loop(conn, service_factory) -> None:
-    """Body of one serving worker: recv request, serve, send response."""
+def _serve_request(service, request: ForecastRequest) -> ForecastResponse:
+    """Serve one request inside a worker, deadline-checked, never raising."""
+    if request.deadline is not None \
+            and time.monotonic() >= request.deadline:
+        return ForecastResponse(
+            request.key, request.horizon, None,
+            error="DeadlineExceeded: expired before the forward started")
+    try:
+        return service.forecast_one(request)
+    except Exception as exc:  # noqa: BLE001 - workers must not die
+        return ForecastResponse(
+            request.key, request.horizon, None,
+            error=f"{type(exc).__name__}: {exc}")
+
+
+def _serve_shm_frame(service, ring, request_id, slot,
+                     meta) -> ForecastResponse:
+    """Rebuild a request from its ring slot (zero-copy) and serve it.
+
+    Function-local on purpose: every view into the segment dies when
+    this frame returns, so the ring can close cleanly at shutdown.
+    """
+    key, s, horizon, spec, interval_minutes, deadline = meta
+    arrays, _ = ring.read(slot, request_id, copy=False)
+    tensors, mask, counts = arrays
+    sequence = ODTensorSequence(
+        tensors=tensors, mask=mask, counts=counts, spec=spec,
+        interval_minutes=interval_minutes, _validated=True)
+    return _serve_request(service, ForecastRequest(
+        key, sequence, s, horizon, deadline=deadline))
+
+
+def _worker_loop(conn, service_factory, ring=None) -> None:
+    """Body of one serving worker: recv control frame, serve, reply.
+
+    Frames are ``("shm", id, slot, meta)`` — array bytes live in the
+    shared-memory ring, the pipe carries only this control tuple — or
+    ``("pickle", id, request)``, the legacy transport.  Responses go
+    back through the request's slot when the histogram fits, else as a
+    pickled frame.  The ``finally`` closes and best-effort-unlinks the
+    ring so even a worker that outlives its parent leaves nothing in
+    ``/dev/shm``.
+    """
     service = service_factory()
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            break
-        if message is None:
-            break
-        request_id, request = message
-        try:
-            response = service.forecast_one(request)
-        except Exception as exc:  # noqa: BLE001 - workers must not die
-            response = ForecastResponse(
-                request.key, request.horizon, None,
-                error=f"{type(exc).__name__}: {exc}")
-        try:
-            conn.send((request_id, response))
-        except (BrokenPipeError, OSError):
-            break
-    conn.close()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:
+                break
+            kind, request_id = message[0], message[1]
+            if kind == "shm":
+                slot, meta = message[2], message[3]
+                try:
+                    response = _serve_shm_frame(service, ring, request_id,
+                                                slot, meta)
+                except Exception as exc:  # noqa: BLE001 - bad frame
+                    response = ForecastResponse(
+                        meta[0], meta[2], None,
+                        error=f"{type(exc).__name__}: {exc}")
+                frame = None
+                if response.ok and response.prediction is not None:
+                    try:     # response histogram written once, in place
+                        ring.write(slot, [response.prediction], request_id)
+                        frame = ("shm", request_id, slot,
+                                 replace(response, prediction=None))
+                    except (SlotOverflowError, ValueError):
+                        frame = None     # doesn't fit: pickle it instead
+                if frame is None:
+                    frame = ("pickle", request_id, response)
+            else:
+                request = message[2]
+                response = _serve_request(service, request)
+                frame = ("pickle", request_id, response)
+            try:
+                conn.send(frame)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        conn.close()
+        if ring is not None:
+            ring.close()
+            ring.unlink()    # no-op if the parent already unlinked
 
 
 class ForecastWorkerPool:
@@ -744,20 +838,37 @@ class ForecastWorkerPool:
 
     Reuses the fork-pool fault-isolation pattern of
     ``experiments.runner``: each worker is a forked process owning a
-    full :class:`ForecastService` (built by ``service_factory``), fed
-    over a pipe.  With ``affinity`` on (the default), requests for one
-    model key always land on ``crc32(key) % n_workers``, so each
-    worker's registry, inference tape, and response cache stay hot for
-    the keys it owns instead of every worker cold-loading every model;
-    retries step to the next slot so a wedged owner cannot blackhole
-    its keys.  ``affinity=False`` restores round-robin dispatch.  Only
-    the last ``s`` intervals of the sequence are shipped (O(s)
-    payload).  A request that
-    exceeds ``request_timeout`` or whose worker dies mid-flight gets the
-    worker terminated and respawned and the request retried; when
-    retries are exhausted the parent's stale-response mirror answers,
-    flagged ``degraded`` — the ladder's last rung before
-    :class:`ModelUnavailableError`.
+    full :class:`ForecastService` (built by ``service_factory``).  With
+    ``affinity`` on (the default), requests for one model key always
+    land on ``crc32(key) % n_workers``, so each worker's registry,
+    inference tape, and response cache stay hot for the keys it owns
+    instead of every worker cold-loading every model; retries step to
+    the next slot so a wedged owner cannot blackhole its keys.
+    ``affinity=False`` restores round-robin dispatch.  Only the last
+    ``s`` intervals of the sequence are shipped (O(s) payload).
+
+    **Data plane** (``transport="shm"``, the default): each worker owns
+    a :class:`~repro.serve_shm.ShmRing` — request windows are written
+    once into a free slot by the parent, response histograms once by
+    the worker, and the pipe carries only tiny control frames.  When
+    shared memory is unavailable, or a payload exceeds ``slot_bytes``,
+    the request falls back to the pickled pipe (bit-identical answer,
+    one-shot :class:`~repro.serve_shm.TransportFallbackWarning`,
+    ``transport_fallbacks`` counter, ``transport_fallback`` event).
+
+    **Backpressure**: admission is checked against the key's owner
+    worker before any dispatch — a queue already ``max_inflight`` deep,
+    or a ``ForecastRequest.deadline`` that has passed or cannot be met
+    given ``(queue depth + 1) x`` the observed per-forward latency
+    EWMA, sheds the request with :class:`~repro.serve_shm.ShedError`
+    (fast-fail: no worker touched, no retry consumed, no stale answer).
+
+    A request that exceeds ``request_timeout`` or whose worker dies
+    mid-flight gets the worker terminated, its shared-memory segment
+    unlinked, a replacement spawned (fresh ring), and the request
+    retried; when retries are exhausted the parent's stale-response
+    mirror answers, flagged ``degraded`` — the ladder's last rung
+    before :class:`ModelUnavailableError`.
     """
 
     def __init__(self, service_factory: Callable[[], ForecastService],
@@ -765,43 +876,87 @@ class ForecastWorkerPool:
                  request_timeout: Optional[float] = 30.0,
                  retries: int = 1, stale_ok: bool = True,
                  affinity: bool = True,
+                 transport: str = "shm",
+                 slot_bytes: int = DEFAULT_SLOT_BYTES,
+                 ring_slots: int = 2,
+                 max_inflight: int = 8,
                  telemetry: TelemetrySink = None):
         if "fork" not in multiprocessing.get_all_start_methods():
             raise RuntimeError(
                 "ForecastWorkerPool needs the fork start method")
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if transport not in SERVE_TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {SERVE_TRANSPORTS}, got "
+                f"{transport!r}")
         self._factory = service_factory
         self._ctx = multiprocessing.get_context("fork")
         self.request_timeout = request_timeout
         self.retries = int(retries)
         self.stale_ok = bool(stale_ok)
         self.affinity = bool(affinity)
+        self.slot_bytes = int(slot_bytes)
+        self.ring_slots = int(ring_slots)
         self.telemetry = telemetry
         self.deaths = 0
         self.timeouts = 0
         self.degraded = 0
+        self.sheds = 0
+        self.transport_fallbacks = 0
+        self._fallback_warned = False
+        self.transport = transport
+        if transport == "shm" and not shared_memory_available():
+            self._note_fallback(-1, "multiprocessing.shared_memory "
+                                    "unavailable on this platform")
+            self.transport = "pickle"
+        self._admission = AdmissionController(n_workers,
+                                              max_inflight=max_inflight)
         self._last: Dict[Tuple[ModelKey, int], np.ndarray] = {}
-        self._request_id = 0
+        self._request_ids = itertools.count(1)
         self._next = 0
         self._workers: List[Optional[tuple]] = [None] * n_workers
+        self._locks = [threading.Lock() for _ in range(n_workers)]
         self._closed = False
         for slot in range(n_workers):
             self._spawn(slot)
 
     # ------------------------------------------------------------------
+    def _note_fallback(self, slot: int, reason: str,
+                       direction: str = "request") -> None:
+        """Count (and once, warn about) a pickled-transport fallback."""
+        self.transport_fallbacks += 1
+        if not self._fallback_warned:
+            self._fallback_warned = True
+            warnings.warn(
+                f"shm transport fell back to the pickled pipe: {reason} "
+                f"(further fallbacks counted silently)",
+                TransportFallbackWarning, stacklevel=3)
+        emit(self.telemetry, "transport_fallback", slot=slot,
+             reason=reason, direction=direction)
+
     def _spawn(self, slot: int) -> None:
         parent_conn, child_conn = self._ctx.Pipe()
+        ring = None
+        if self.transport == "shm":
+            try:
+                ring = ShmRing(slot_bytes=self.slot_bytes,
+                               n_slots=self.ring_slots)
+            except (OSError, RuntimeError) as exc:
+                self._note_fallback(
+                    slot, f"ring creation failed: {exc}")
+                self.transport = "pickle"
         proc = self._ctx.Process(
-            target=_worker_loop, args=(child_conn, self._factory),
+            target=_worker_loop, args=(child_conn, self._factory, ring),
             name=f"repro-serve-worker-{slot}", daemon=True)
         proc.start()
         child_conn.close()
-        self._workers[slot] = (proc, parent_conn)
-        emit(self.telemetry, "worker_spawn", slot=slot, pid=proc.pid)
+        self._workers[slot] = (proc, parent_conn, ring)
+        emit(self.telemetry, "worker_spawn", slot=slot, pid=proc.pid,
+             transport="shm" if ring is not None else "pickle")
 
     def _kill(self, slot: int, reason: str) -> None:
-        proc, conn = self._workers[slot]
+        proc, conn, ring = self._workers[slot]
         self.deaths += 1
         emit(self.telemetry, "worker_death", slot=slot, pid=proc.pid,
              reason=reason)
@@ -812,6 +967,13 @@ class ForecastWorkerPool:
             proc.kill()
             proc.join(timeout=5.0)
         conn.close()
+        # Unlink the dead worker's segment *before* forking the
+        # replacement: a SIGKILLed worker never runs its cleanup, and
+        # leaking one /dev/shm segment per respawn would eventually
+        # exhaust shared memory.
+        if ring is not None:
+            ring.close()
+            ring.unlink()
         self._spawn(slot)
 
     # ------------------------------------------------------------------
@@ -831,66 +993,164 @@ class ForecastWorkerPool:
         base = zlib.crc32(str(key).encode()) % n
         return (base + attempt) % n
 
+    def _shed(self, request: ForecastRequest, slot: int,
+              exc: ShedError) -> None:
+        """Record a shed (telemetry + counter) and re-raise it."""
+        self.sheds += 1
+        stats = self._admission.stats()
+        emit(self.telemetry, "serve_shed", key=str(request.key),
+             slot=slot, reason=exc.reason,
+             queue_depth=self._admission.queue_depth(slot),
+             max_inflight=self._admission.max_inflight,
+             ewma_ms=stats["ewma_ms"])
+        raise exc
+
     def forecast(self, request: ForecastRequest) -> ForecastResponse:
-        """Serve one request through the pool (degrading, not raising)."""
+        """Serve one request through the pool (degrading, not raising —
+        except :class:`~repro.serve_shm.ShedError`, the deliberate
+        fast-fail when admission control refuses the request)."""
         if self._closed:
             raise RuntimeError("pool is closed")
-        request = request.tail()    # bound the pipe payload to O(s)
-        last_error = "no workers available"
-        for attempt in range(1 + self.retries):
-            slot = self._slot_for(request.key, attempt)
-            proc, conn = self._workers[slot]
-            if not proc.is_alive():
-                self._kill(slot, "found dead")
-                proc, conn = self._workers[slot]
-            self._request_id += 1
-            request_id = self._request_id
-            try:
-                conn.send((request_id, request))
-            except (BrokenPipeError, OSError) as exc:
-                last_error = f"worker send failed: {exc}"
-                self._kill(slot, "send failed")
-                continue
-            response = self._await(slot, request_id)
-            if response is not None:
+        request = request.tail()    # bound the data-plane payload to O(s)
+        owner = self._slot_for(request.key, 0)
+        try:
+            depth, new_high = self._admission.admit(
+                owner, request.key, request.deadline)
+        except ShedError as exc:
+            self._shed(request, owner, exc)
+        if new_high:
+            emit(self.telemetry, "serve_queue_depth", slot=owner,
+                 depth=depth, max_inflight=self._admission.max_inflight)
+        forward_seconds = None
+        try:
+            last_error = "no workers available"
+            for attempt in range(1 + self.retries):
+                if attempt and request.deadline is not None \
+                        and time.monotonic() >= request.deadline:
+                    self._admission.note_deadline_shed()
+                    self._shed(request, owner, ShedError(
+                        request.key, "deadline passed before retry "
+                                     f"{attempt}"))
+                slot = owner if attempt == 0 \
+                    else self._slot_for(request.key, attempt)
+                start = time.monotonic()
+                response, error = self._roundtrip(slot, request)
+                if response is None:
+                    last_error = error
+                    continue
                 if response.ok and not response.degraded:
+                    if response.cache == "miss":
+                        forward_seconds = time.monotonic() - start
                     self._last[(request.key, request.horizon)] = \
                         response.prediction
                 if response.ok:
                     return response
                 last_error = response.error
-            else:
-                last_error = (f"no answer within "
-                              f"{self.request_timeout}s or worker died")
-        return self._degrade(request, last_error)
+            return self._degrade(request, last_error)
+        finally:
+            self._admission.done(owner, forward_seconds)
 
-    def _await(self, slot: int, request_id: int
-               ) -> Optional[ForecastResponse]:
-        """Wait for one worker's answer; None = timed out or died."""
-        proc, conn = self._workers[slot]
+    def _roundtrip(self, slot: int, request: ForecastRequest
+                   ) -> Tuple[Optional[ForecastResponse], Optional[str]]:
+        """One send + await on one worker: ``(response, error)``.
+
+        Serialized per worker slot so concurrent callers queue instead
+        of interleaving frames on one pipe — the queue admission
+        control bounds.  Array bytes go through the worker's ring when
+        they fit; the pickled pipe is the per-request fallback.
+        """
+        with self._locks[slot]:
+            proc, conn, ring = self._workers[slot]
+            if not proc.is_alive():
+                self._kill(slot, "found dead")
+                proc, conn, ring = self._workers[slot]
+            request_id = next(self._request_ids)
+            ring_slot = None
+            if ring is not None:
+                ring_slot = ring.acquire()
+                if ring_slot is None:
+                    self._note_fallback(slot, "no free ring slot")
+                else:
+                    sequence = request.sequence
+                    try:
+                        ring.write(
+                            ring_slot,
+                            [sequence.tensors, sequence.mask,
+                             sequence.counts],
+                            request_id, request.deadline)
+                    except (SlotOverflowError, ValueError) as exc:
+                        ring.release(ring_slot)
+                        ring_slot = None
+                        self._note_fallback(
+                            slot, f"{type(exc).__name__}: {exc}")
+            try:
+                if ring_slot is not None:
+                    meta = (request.key, request.s, request.horizon,
+                            request.sequence.spec,
+                            request.sequence.interval_minutes,
+                            request.deadline)
+                    conn.send(("shm", request_id, ring_slot, meta))
+                else:
+                    conn.send(("pickle", request_id, request))
+            except (BrokenPipeError, OSError) as exc:
+                if ring_slot is not None:
+                    ring.release(ring_slot)
+                self._kill(slot, "send failed")
+                return None, f"worker send failed: {exc}"
+            try:
+                return self._await(slot, request_id, ring,
+                                   sent_shm=ring_slot is not None)
+            finally:
+                if ring_slot is not None:
+                    ring.release(ring_slot)
+
+    def _await(self, slot: int, request_id: int, ring, sent_shm: bool
+               ) -> Tuple[Optional[ForecastResponse], Optional[str]]:
+        """Wait for one worker's answer; ``(None, why)`` = timeout/death."""
+        proc, conn, _ = self._workers[slot]
         deadline = None if self.request_timeout is None \
             else time.monotonic() + self.request_timeout
+        timeout_error = (f"no answer within {self.request_timeout}s "
+                         f"or worker died")
         while True:
             remaining = 1.0 if deadline is None \
                 else deadline - time.monotonic()
             if remaining <= 0:
                 self.timeouts += 1
                 self._kill(slot, "request timeout")
-                return None
+                return None, timeout_error
             if not conn.poll(min(remaining, 0.05)):
                 if not proc.is_alive() and not conn.poll(0):
                     self._kill(slot, "died mid-request")
-                    return None
+                    return None, timeout_error
                 continue
             try:
-                got_id, response = conn.recv()
+                frame = conn.recv()
             except (EOFError, OSError):
                 self._kill(slot, "pipe closed mid-request")
-                return None
-            if got_id == request_id:
-                return response
-            # A stale answer from a request whose caller already gave up
-            # (post-timeout drain): drop it and keep waiting for ours.
+                return None, timeout_error
+            kind, got_id = frame[0], frame[1]
+            if got_id != request_id:
+                # A stale answer from a request whose caller already
+                # gave up (post-timeout drain): drop it, keep waiting.
+                continue
+            if kind == "shm":
+                ring_slot, control = frame[2], frame[3]
+                try:
+                    arrays, _ = ring.read(ring_slot, got_id, copy=True)
+                except Exception as exc:  # noqa: BLE001 - corrupt slot
+                    return replace(
+                        control, prediction=None,
+                        error=f"shm response unreadable: {exc}"), None
+                return replace(control, prediction=arrays[0]), None
+            response = frame[2]
+            if sent_shm and response.ok \
+                    and response.prediction is not None:
+                # The request went out through the ring but the answer
+                # came back pickled: the histogram outgrew the slot.
+                self._note_fallback(slot, "response exceeded slot_bytes",
+                                    direction="response")
+            return response, None
 
     def _degrade(self, request: ForecastRequest,
                  error: str) -> ForecastResponse:
@@ -908,12 +1168,21 @@ class ForecastWorkerPool:
                                 error=error)
 
     # ------------------------------------------------------------------
-    def stats(self) -> Dict[str, int]:
+    def segment_names(self) -> List[str]:
+        """Names of the live shared-memory segments (for leak checks)."""
+        return [ring.name for entry in self._workers
+                if entry is not None and entry[2] is not None
+                for ring in (entry[2],)]
+
+    def stats(self) -> Dict[str, object]:
         alive = sum(1 for w in self._workers
                     if w is not None and w[0].is_alive())
         return {"workers": len(self._workers), "alive": alive,
                 "deaths": self.deaths, "timeouts": self.timeouts,
-                "degraded": self.degraded}
+                "degraded": self.degraded, "sheds": self.sheds,
+                "transport": self.transport,
+                "transport_fallbacks": self.transport_fallbacks,
+                "queue": self._admission.stats()}
 
     def close(self) -> None:
         if self._closed:
@@ -922,7 +1191,7 @@ class ForecastWorkerPool:
         for entry in self._workers:
             if entry is None:
                 continue
-            proc, conn = entry
+            proc, conn, ring = entry
             try:
                 conn.send(None)
             except (BrokenPipeError, OSError):
@@ -930,12 +1199,18 @@ class ForecastWorkerPool:
         for entry in self._workers:
             if entry is None:
                 continue
-            proc, conn = entry
+            proc, conn, ring = entry
             proc.join(timeout=5.0)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5.0)
             conn.close()
+            # The parent owns every segment: unlink here so a pool
+            # shutdown (even one that had to terminate workers) leaves
+            # nothing behind in /dev/shm.
+            if ring is not None:
+                ring.close()
+                ring.unlink()
 
     def __enter__(self) -> "ForecastWorkerPool":
         return self

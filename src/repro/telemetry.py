@@ -39,6 +39,20 @@ Robustness events (see ``docs/ROBUSTNESS.md``)
 ``contract_quarantine``  ``boundary, kind, n_cells`` (observed cells
                          whose histograms were unusable; mask cleared)
 
+Serving events (see ``docs/SERVING.md``)
+----------------------------------------
+``serve_request``        ``key, s, horizon, cache, seconds, batch,``
+                         ``degraded, error``
+``worker_spawn``         ``slot, pid, transport`` / ``worker_death``
+                         adds ``reason``
+``serve_degraded``       ``key, horizon, error`` (stale answer served)
+``serve_shed``           ``key, slot, reason, queue_depth,``
+                         ``max_inflight, ewma_ms`` (admission control
+                         refused the request; ``ShedError`` raised)
+``transport_fallback``   ``slot, reason, direction`` (a payload rode
+                         the pickled pipe instead of the shm ring)
+``serve_queue_depth``    ``slot, depth`` (new per-worker high water)
+
 Unknown extra fields may be added over time; consumers should ignore
 fields they do not recognize, and treat the ones above as stable.
 """

@@ -81,15 +81,34 @@ class TestBenchmarkHygiene:
             for key in node.keys
             if isinstance(key, ast.Constant) and isinstance(key.value, str)
         }
-        for section in ("parity", "cache", "throughput"):
+        for section in ("parity", "cache", "throughput", "transport",
+                        "shedding"):
             assert section in report_keys, (
                 f"serve smoke report lost its '{section}' section")
         for field in ("cold_ms", "hit_ms", "speedup", "forecasts_per_sec",
-                      "p50_ms", "p99_ms"):
+                      "p50_ms", "p99_ms", "p99_warm_ms", "shm_ms",
+                      "pickle_ms", "bit_identical", "leaked_segments",
+                      "shed", "shed_full", "shed_deadline",
+                      "healthy_after"):
             assert field in source, (
                 f"serve smoke report lost its '{field}' field")
         assert "forecast_latest" in source, (
             "the parity gate must compare against forecast_latest")
+
+    def test_serve_smoke_enforces_transport_and_shed_floors(self):
+        """The shm-vs-pickle speedup floor and the overload shed
+        scenario are load-bearing: losing either silently would let
+        the zero-copy data plane regress to a slow pickle path."""
+        source = (BENCH_DIR / "serve_smoke.py").read_text()
+        assert "MIN_SHM_SPEEDUP" in source
+        assert "leaked_segments" in source, (
+            "the transport gate must assert no /dev/shm segment "
+            "survives pool close")
+        assert "ShedError" in source, (
+            "the overload scenario must observe ShedError sheds")
+        script = (BENCH_DIR.parent / "run_benchmarks.sh").read_text()
+        assert "shm" in script, (
+            "run_benchmarks.sh must document the shm transport gate")
 
     def test_shard_gate_wired_into_sweep(self):
         """The block-sparse sharding gate (exact-mode bit-parity with

@@ -24,7 +24,9 @@ from repro.persistence import save_checkpoint
 from repro.serve import (ForecastRequest, ForecastResponse, ForecastService,
                          ForecastWorkerPool, ModelKey, ModelRegistry,
                          ModelUnavailableError, ResponseCache, ServeConfig,
+                         ShedError, TransportFallbackWarning,
                          window_signature)
+from repro.serve_shm import leaked_segments
 
 S, H = 3, 2
 BUDGET = MethodBudget(epochs=1, batch_size=8, max_train_batches=3)
@@ -375,7 +377,7 @@ class TestForecastWorkerPool:
                                 retries=1) as pool:
             first = pool.forecast(ForecastRequest(key, sequence, S, H))
             assert first.ok
-            proc, _ = pool._workers[0]
+            proc, _, _ = pool._workers[0]
             os.kill(proc.pid, signal.SIGKILL)
             proc.join(timeout=5.0)
             second = pool.forecast(ForecastRequest(key, sequence, S, H))
@@ -427,7 +429,7 @@ class TestForecastWorkerPool:
         sequence = served.data.sequence
         with ForecastWorkerPool(service_factory, n_workers=1,
                                 request_timeout=0.2, retries=0) as pool:
-            proc, _ = pool._workers[0]
+            proc, _, _ = pool._workers[0]
             os.kill(proc.pid, signal.SIGSTOP)   # simulate a hang
             start = time.monotonic()
             response = pool.forecast(
@@ -607,3 +609,245 @@ class TestModelWarmup:
         assert "model_warm_error" in events
         assert "model_warm" not in events
         service.close()
+
+
+class TestShmTransport:
+    """The zero-copy data plane: array bytes travel through a per-worker
+    shared-memory ring, the pipe carries only control frames, and every
+    answer is bit-identical to the pickled transport."""
+
+    def _factory(self, served, key):
+        path, builder = served.path, served.builder
+
+        def service_factory():
+            service = ForecastService(ServeConfig())
+            service.register(key, path, builder)
+            return service
+
+        return service_factory
+
+    def test_shm_answer_bit_identical_to_direct_and_pickle(self, served):
+        key = ModelKey("toy")
+        factory = self._factory(served, key)
+        sequence = served.data.sequence
+        direct = forecast_latest(served.forecaster, sequence, S, H)
+        request = ForecastRequest(key, sequence, S, H)
+        with ForecastWorkerPool(factory, n_workers=1) as shm_pool:
+            assert shm_pool.transport == "shm"
+            via_shm = shm_pool.forecast(request)
+            assert via_shm.ok and shm_pool.transport_fallbacks == 0
+        with ForecastWorkerPool(factory, n_workers=1,
+                                transport="pickle") as pickle_pool:
+            assert pickle_pool.segment_names() == []
+            via_pickle = pickle_pool.forecast(request)
+            assert via_pickle.ok
+        np.testing.assert_array_equal(via_shm.prediction, direct)
+        np.testing.assert_array_equal(via_pickle.prediction, direct)
+
+    def test_oversized_payload_falls_back_to_pickle(self, served):
+        """A payload bigger than the largest slot must still be served
+        (bit-identically) over the pickled pipe, with a one-shot
+        warning, a counter, and a transport_fallback event."""
+        key = ModelKey("toy")
+        events = []
+        pool = ForecastWorkerPool(
+            self._factory(served, key), n_workers=1, slot_bytes=1024,
+            telemetry=lambda event, fields: events.append((event, fields)))
+        try:
+            direct = forecast_latest(served.forecaster,
+                                     served.data.sequence, S, H)
+            request = ForecastRequest(key, served.data.sequence, S, H)
+            with pytest.warns(TransportFallbackWarning,
+                              match="fell back"):
+                response = pool.forecast(request)
+            assert response.ok
+            np.testing.assert_array_equal(response.prediction, direct)
+            assert pool.transport_fallbacks >= 1
+            fallbacks = [fields for event, fields in events
+                         if event == "transport_fallback"]
+            assert fallbacks and "SlotOverflowError" in \
+                fallbacks[0]["reason"]
+            # The warning is one-shot: the second oversized request is
+            # counted but silent.
+            before = pool.transport_fallbacks
+            response = pool.forecast(request)
+            assert response.ok
+            assert pool.transport_fallbacks > before
+        finally:
+            pool.close()
+
+    def test_response_overflow_falls_back_to_pickle(self, served):
+        """A worker whose histogram outgrew the slot answers over the
+        pipe instead; the parent counts the response-direction
+        fallback."""
+        key = ModelKey("toy")
+
+        class _HugeAnswerService:
+            def forecast_one(self, request):
+                return ForecastResponse(
+                    request.key, request.horizon,
+                    np.zeros((64, 64, 64)))       # 2 MiB > slot
+
+        events = []
+        pool = ForecastWorkerPool(
+            _HugeAnswerService, n_workers=1, slot_bytes=1 << 20,
+            telemetry=lambda event, fields: events.append((event, fields)))
+        try:
+            with pytest.warns(TransportFallbackWarning):
+                response = pool.forecast(
+                    ForecastRequest(key, served.data.sequence, S, H))
+            assert response.ok
+            assert response.prediction.shape == (64, 64, 64)
+            directions = [fields["direction"]
+                          for event, fields in events
+                          if event == "transport_fallback"]
+            assert "response" in directions
+        finally:
+            pool.close()
+
+    def test_invalid_transport_rejected(self, served):
+        with pytest.raises(ValueError, match="transport"):
+            ForecastWorkerPool(self._factory(served, ModelKey("toy")),
+                               n_workers=1, transport="tcp")
+
+    def test_respawn_unlinks_dead_workers_segment(self, served):
+        """Regression: a SIGKILLed worker never runs its cleanup, so
+        the parent must unlink the dead worker's segment before forking
+        the replacement — one leak per respawn would eventually exhaust
+        /dev/shm."""
+        key = ModelKey("toy")
+        pool = ForecastWorkerPool(self._factory(served, key), n_workers=1)
+        try:
+            names = [pool.segment_names()[0]]
+            request = ForecastRequest(key, served.data.sequence, S, H)
+            assert pool.forecast(request).ok
+            for _ in range(2):                   # two kill/respawn cycles
+                proc, _, _ = pool._workers[0]
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.join(timeout=5.0)
+                response = pool.forecast(request)
+                assert response.ok
+                fresh = pool.segment_names()[0]
+                assert fresh not in names        # a new segment each time
+                assert leaked_segments(names) == []
+                names.append(fresh)
+        finally:
+            pool.close()
+        assert leaked_segments(names) == []      # close unlinked the last
+
+    def test_graceful_close_leaves_no_segments(self, served):
+        pool = ForecastWorkerPool(self._factory(served, ModelKey("toy")),
+                                  n_workers=2)
+        names = pool.segment_names()
+        assert len(names) == 2
+        pool.close()
+        assert leaked_segments(names) == []
+
+
+class TestBackpressure:
+    """Deadline-aware admission control: overload answers "no" in
+    microseconds (ShedError) instead of "late" in seconds, and a shed
+    consumes no retry, kills no worker, and serves no stale answer."""
+
+    def _pool(self, served, key, telemetry=None, **kwargs):
+        path, builder = served.path, served.builder
+
+        def service_factory():
+            service = ForecastService(ServeConfig())
+            service.register(key, path, builder)
+            return service
+
+        return ForecastWorkerPool(service_factory, n_workers=1,
+                                  telemetry=telemetry, **kwargs)
+
+    def test_ladder_order_cache_then_shm_then_fallback(self, served):
+        """Rungs 1-3 in order: the worker's response cache answers
+        first; a miss runs the shm forward; only an oversized payload
+        drops to the pickled pipe."""
+        key = ModelKey("toy")
+        with self._pool(served, key) as pool:
+            request = ForecastRequest(key, served.data.sequence, S, H)
+            miss = pool.forecast(request)
+            hit = pool.forecast(request)
+            assert miss.cache == "miss"          # rung 2: shm forward
+            assert hit.cache == "hit"            # rung 1 outranks it
+            assert pool.transport_fallbacks == 0  # rung 3 never needed
+            np.testing.assert_array_equal(hit.prediction, miss.prediction)
+
+    def test_queue_full_sheds_without_consuming_retry(self, served):
+        """A shed must not walk the retry ring, kill a worker, or serve
+        stale — and the pool must serve normally right after."""
+        key = ModelKey("toy")
+        events = []
+        pool = self._pool(
+            served, key, retries=2, max_inflight=1,
+            telemetry=lambda event, fields: events.append((event, fields)))
+        try:
+            request = ForecastRequest(key, served.data.sequence, S, H)
+            assert pool.forecast(request).ok     # a mirrorable answer
+            owner = pool._slot_for(key, 0)
+            pool._admission._inflight[owner] = 1  # queue artificially full
+            with pytest.raises(ShedError, match="queue full"):
+                pool.forecast(request)
+            pool._admission._inflight[owner] = 0
+            stats = pool.stats()
+            assert stats["sheds"] == 1
+            assert stats["deaths"] == 0          # no worker touched
+            assert stats["timeouts"] == 0
+            assert stats["queue"]["shed_full"] == 1
+            shed_events = [fields for event, fields in events
+                           if event == "serve_shed"]
+            assert len(shed_events) == 1
+            assert "queue full" in shed_events[0]["reason"]
+            assert pool.forecast(request).ok     # healthy afterwards
+        finally:
+            pool.close()
+
+    def test_passed_deadline_sheds_fast(self, served):
+        key = ModelKey("toy")
+        with self._pool(served, key) as pool:
+            request = ForecastRequest(key, served.data.sequence, S, H)
+            assert pool.forecast(request).ok     # prime EWMA + mirror
+            late = ForecastRequest(key, served.data.sequence, S, H,
+                                   deadline=time.monotonic() - 1.0)
+            start = time.monotonic()
+            with pytest.raises(ShedError, match="deadline passed"):
+                pool.forecast(late)
+            assert time.monotonic() - start < 0.05   # fast-fail
+            assert pool.stats()["queue"]["shed_deadline"] == 1
+
+    def test_unmeetable_deadline_sheds_via_ewma(self, served):
+        key = ModelKey("toy")
+        with self._pool(served, key) as pool:
+            request = ForecastRequest(key, served.data.sequence, S, H)
+            assert pool.forecast(request).ok     # prime the EWMA
+            assert pool._admission.ewma_seconds is not None
+            pool._admission.ewma_seconds = 10.0   # pin: 10s per forward
+            tight = ForecastRequest(
+                key, served.data.sequence, S, H,
+                deadline=time.monotonic() + 1.0)  # < one projected forward
+            with pytest.raises(ShedError, match="unmeetable"):
+                pool.forecast(tight)
+
+    def test_generous_deadline_is_served(self, served):
+        key = ModelKey("toy")
+        with self._pool(served, key) as pool:
+            response = pool.forecast(ForecastRequest(
+                key, served.data.sequence, S, H,
+                deadline=time.monotonic() + 60.0))
+            assert response.ok and not response.degraded
+
+    def test_worker_refuses_expired_in_flight_deadline(self, served):
+        """A deadline that expires between admission and the worker's
+        recv must not start a doomed forward."""
+        from repro.serve import _serve_request
+
+        class _NeverCalled:
+            def forecast_one(self, request):     # pragma: no cover
+                raise AssertionError("forward ran past its deadline")
+
+        request = ForecastRequest(ModelKey("toy"), served.data.sequence,
+                                  S, H, deadline=time.monotonic() - 0.1)
+        response = _serve_request(_NeverCalled(), request)
+        assert not response.ok
+        assert "DeadlineExceeded" in response.error
